@@ -1,0 +1,104 @@
+"""Lifecycle component microbenchmarks.
+
+Times the building blocks an evaluation run is made of — featurization,
+reweighing, disparate-impact repair, metric-bundle computation, learned
+imputation, and a full germancredit lifecycle — so performance regressions
+in the framework itself are visible. (The paper's §5.1 grid executes 1,344
+runs; per-run overhead matters.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DIRemover,
+    DatawigImputer,
+    Experiment,
+    Featurizer,
+    LogisticRegression,
+    ReweighingPreProcessor,
+)
+from repro.datasets import GERMANCREDIT_SPEC, generate_adult, generate_germancredit
+from repro.fairness import ClassificationMetric
+from repro.learn import StandardScaler
+
+
+@pytest.fixture(scope="module")
+def german():
+    return generate_germancredit()
+
+
+@pytest.fixture(scope="module")
+def german_annotated(german):
+    featurizer = Featurizer(GERMANCREDIT_SPEC, StandardScaler()).fit(german)
+    return featurizer, featurizer.transform(german)
+
+
+@pytest.mark.benchmark(group="components")
+def test_featurization_throughput(benchmark, german):
+    featurizer = Featurizer(GERMANCREDIT_SPEC, StandardScaler()).fit(german)
+    benchmark(featurizer.transform, german)
+
+
+@pytest.mark.benchmark(group="components")
+def test_reweighing_cost(benchmark, german_annotated):
+    featurizer, data = german_annotated
+    pre = ReweighingPreProcessor()
+
+    def run():
+        pre.fit(data, featurizer.privileged_groups, featurizer.unprivileged_groups, 0)
+        return pre.transform_train(data)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="components")
+def test_di_remover_cost(benchmark, german_annotated):
+    featurizer, data = german_annotated
+    pre = DIRemover(repair_level=1.0)
+
+    def run():
+        pre.fit(data, featurizer.privileged_groups, featurizer.unprivileged_groups, 0)
+        return pre.transform_train(data)
+
+    benchmark(run)
+
+
+@pytest.mark.benchmark(group="components")
+def test_metric_bundle_cost(benchmark, german_annotated):
+    featurizer, data = german_annotated
+    rng = np.random.default_rng(0)
+    pred = data.with_predictions(labels=(rng.random(data.num_instances) < 0.7).astype(float))
+
+    def run():
+        return ClassificationMetric(
+            data, pred, featurizer.unprivileged_groups, featurizer.privileged_groups
+        ).all_metrics()
+
+    result = benchmark(run)
+    assert len(result) == 97
+
+
+@pytest.mark.benchmark(group="components")
+def test_learned_imputer_fit_cost(benchmark, capsys):
+    frame = generate_adult(n=4000)
+    features = [c for c in frame.columns if c != "income"]
+
+    def run():
+        return DatawigImputer().fit(frame, features, seed=0)
+
+    benchmark.pedantic(run, rounds=2, iterations=1)
+
+
+@pytest.mark.benchmark(group="components")
+def test_full_lifecycle_untuned_lr(benchmark, german):
+    def run():
+        return Experiment(
+            german,
+            GERMANCREDIT_SPEC,
+            random_seed=0,
+            learner=LogisticRegression(tuned=False),
+        ).run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.test_metrics["overall__accuracy"] > 0.5

@@ -1,0 +1,79 @@
+"""Figure 2: impact of hyperparameter tuning on accuracy/fairness variability.
+
+Regenerates all six panels (a-f): tuned vs untuned logistic regression and
+decision trees on germancredit, under six interventions (none, di-remover
+0.5/1.0, reweighing, reject-option, calibrated equalized odds), reporting
+accuracy against DI / FNRD / FPRD.
+
+Paper shape: tuned runs (red dots) reach higher accuracy and lower variance
+of the fairness outcomes than untuned runs (gray dots) in many cells.
+"""
+
+import pytest
+
+from repro.analysis import (
+    figure2_series,
+    figure2_shape_checks,
+    plot_figure2_panel,
+    render_figure2,
+)
+from repro.core import (
+    CalibratedEqOddsPostProcessor,
+    DIRemover,
+    DecisionTree,
+    GridSpec,
+    LogisticRegression,
+    NoIntervention,
+    RejectOptionPostProcessor,
+    ReweighingPreProcessor,
+    run_grid,
+)
+
+from _config import FIG2_SEEDS, PAPER_SCALE, QUICK_DT_GRID, emit
+
+INTERVENTIONS = [
+    NoIntervention,
+    lambda: DIRemover(0.5),
+    lambda: DIRemover(1.0),
+    ReweighingPreProcessor,
+    lambda: RejectOptionPostProcessor(num_class_thresh=20, num_ROC_margin=15),
+    lambda: CalibratedEqOddsPostProcessor(),
+]
+
+
+def _learners():
+    dt_grid = None if PAPER_SCALE else QUICK_DT_GRID
+    return [
+        lambda: LogisticRegression(tuned=False),
+        lambda: LogisticRegression(tuned=True),
+        lambda: DecisionTree(tuned=False),
+        lambda: DecisionTree(tuned=True, param_grid=dt_grid),
+    ]
+
+
+def _sweep():
+    grid = GridSpec(
+        seeds=FIG2_SEEDS, learners=_learners(), interventions=INTERVENTIONS
+    )
+    return run_grid("germancredit", grid)
+
+
+@pytest.mark.benchmark(group="figure2")
+def test_fig2_tuning_variability(benchmark, capsys):
+    results = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    panels = figure2_series(results)
+    checks = figure2_shape_checks(panels)
+    emit(
+        "figure2_germancredit_tuning",
+        render_figure2(panels)
+        + "\n\nshape checks: "
+        + f"variance_reduced_fraction={checks['variance_reduced_fraction']:.2f}, "
+        + f"accuracy_not_hurt_fraction={checks['accuracy_not_hurt_fraction']:.2f} "
+        + f"over {checks['panels']} panels"
+        + "\n\n"
+        + plot_figure2_panel(panels, "LogisticRegression", "no intervention", "DI"), capsys=capsys)
+    # the paper's headline, held loosely: tuning helps accuracy in most
+    # panels and reduces fairness variance in many of them ("in many cases",
+    # §5.1); the variance estimate needs paper-scale seeds to stabilize
+    assert checks["accuracy_not_hurt_fraction"] >= 0.7
+    assert checks["variance_reduced_fraction"] >= (0.5 if PAPER_SCALE else 0.4)

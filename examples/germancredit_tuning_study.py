@@ -1,0 +1,53 @@
+"""Mini Figure 2: impact of hyperparameter tuning on outcome variability.
+
+Runs tuned and untuned logistic-regression baselines on germancredit under
+several interventions and a handful of seeds, then prints the per-panel
+summary: mean accuracy and the variance of the disparate-impact outcome,
+tuned vs untuned. The full-scale version lives in
+benchmarks/bench_fig2_tuning.py.
+
+Run with:  python examples/germancredit_tuning_study.py
+"""
+
+from repro.analysis import figure2_series, figure2_shape_checks, render_figure2
+from repro.core import (
+    DIRemover,
+    GridSpec,
+    LogisticRegression,
+    NoIntervention,
+    ReweighingPreProcessor,
+    run_grid,
+)
+
+
+def main() -> None:
+    grid = GridSpec(
+        seeds=[46947, 71735, 94246, 27182],
+        learners=[
+            lambda: LogisticRegression(tuned=False),
+            lambda: LogisticRegression(tuned=True),
+        ],
+        interventions=[
+            NoIntervention,
+            ReweighingPreProcessor,
+            lambda: DIRemover(0.5),
+        ],
+    )
+    print(f"executing {grid.size()} germancredit runs ...")
+    results = run_grid(
+        "germancredit",
+        grid,
+        progress=lambda done, total, _: print(f"  {done}/{total}", end="\r"),
+    )
+    panels = figure2_series(results)
+    print("\n" + render_figure2(panels))
+    checks = figure2_shape_checks(panels)
+    print(
+        f"\nshape check: tuning reduced fairness-outcome variance in "
+        f"{checks['variance_reduced_fraction']:.0%} of panels and did not "
+        f"hurt accuracy in {checks['accuracy_not_hurt_fraction']:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,42 @@
+"""Mini Figure 3: feature scaling makes or breaks SGD logistic regression.
+
+The ricci exam scores live on a raw 0-100 scale. Trained on them directly,
+the SGD-based logistic regression frequently fails to learn a usable model
+(accuracy below 0.5), while the decision tree does not care — the paper's
+Figure 3. This example runs both learners with and without standardization.
+
+Run with:  python examples/ricci_scaling_study.py
+"""
+
+from repro.analysis import figure3_series, figure3_shape_checks, render_figure3
+from repro.core import DecisionTree, GridSpec, LogisticRegression, run_grid
+from repro.learn import NoOpScaler, StandardScaler
+
+
+def main() -> None:
+    grid = GridSpec(
+        seeds=[46947, 71735, 94246, 27182, 31415, 16180],
+        learners=[
+            lambda: LogisticRegression(tuned=True),
+            lambda: DecisionTree(tuned=True, param_grid={"max_depth": [3, 5, 10]}),
+        ],
+        scalers=[lambda: StandardScaler(), lambda: NoOpScaler()],
+    )
+    print(f"executing {grid.size()} ricci runs ...")
+    results = run_grid(
+        "ricci",
+        grid,
+        progress=lambda done, total, _: print(f"  {done}/{total}", end="\r"),
+    )
+    panels = figure3_series(results)
+    print("\n" + render_figure3(panels))
+    checks = figure3_shape_checks(panels)
+    print(
+        f"\nshape check: unscaled LR failure rate = "
+        f"{checks['lr_mean_unscaled_failure_rate']:.0%}; decision-tree "
+        f"scaled-vs-unscaled KS distance = {checks['dt_mean_scaling_ks_distance']:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

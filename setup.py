@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .``) cannot build an editable
+wheel. ``python setup.py develop`` provides the equivalent editable install
+using only setuptools. All project metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

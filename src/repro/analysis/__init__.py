@@ -1,0 +1,62 @@
+"""Analysis layer: figure series, statistics and text reports."""
+
+from .figures import (
+    ACCURACY,
+    FAIRNESS_METRICS,
+    figure2_series,
+    figure2_shape_checks,
+    figure3_series,
+    figure3_shape_checks,
+    figure4_series,
+    figure4_strategy_comparison,
+    figure5_series,
+)
+from .plots import (
+    ascii_scatter,
+    plot_figure2_panel,
+    plot_figure3_panel,
+    plot_figure5_panel,
+)
+from .report import (
+    format_table,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+)
+from .thresholds import best_threshold, threshold_sweep
+from .stats import (
+    failure_rate,
+    ks_distance,
+    no_significant_difference,
+    summary,
+    variance_ratio,
+)
+
+__all__ = [
+    "ACCURACY",
+    "FAIRNESS_METRICS",
+    "ascii_scatter",
+    "best_threshold",
+    "failure_rate",
+    "figure2_series",
+    "figure2_shape_checks",
+    "figure3_series",
+    "figure3_shape_checks",
+    "figure4_series",
+    "figure4_strategy_comparison",
+    "figure5_series",
+    "format_table",
+    "ks_distance",
+    "no_significant_difference",
+    "plot_figure2_panel",
+    "plot_figure3_panel",
+    "plot_figure5_panel",
+    "render_figure2",
+    "render_figure3",
+    "render_figure4",
+    "render_figure5",
+    "summary",
+    "threshold_sweep",
+    "variance_ratio",
+]

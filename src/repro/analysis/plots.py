@@ -1,0 +1,139 @@
+"""Terminal scatter plots — the paper's §7 visualisation extension.
+
+The original FairPrep points users at jupyter notebooks for exploring the
+metric files; with no plotting stack available here, these render the
+paper's scatter panels (accuracy vs a fairness measure, two conditions
+overlaid) as unicode text, so a study's outcome is inspectable straight
+from the terminal or a CI log.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+# condition -> glyph, in drawing order (later conditions overwrite earlier)
+_GLYPHS = ("o", "x", "+", "*")
+
+
+def ascii_scatter(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 56,
+    height: int = 16,
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str = "",
+    x_range: Optional[Tuple[float, float]] = None,
+    y_range: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Render ``{condition: (xs, ys)}`` as a unicode scatter plot.
+
+    Each condition gets its own glyph; a legend and axis ranges are
+    appended. NaN points are dropped.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} conditions supported")
+
+    cleaned: Dict[str, Tuple[np.ndarray, np.ndarray]] = {}
+    for name, (xs, ys) in series.items():
+        xs = np.asarray(list(xs), dtype=np.float64)
+        ys = np.asarray(list(ys), dtype=np.float64)
+        if xs.shape != ys.shape:
+            raise ValueError(f"series {name!r}: x and y lengths differ")
+        ok = ~(np.isnan(xs) | np.isnan(ys))
+        cleaned[name] = (xs[ok], ys[ok])
+
+    all_x = np.concatenate([xs for xs, _ in cleaned.values()]) if cleaned else np.array([])
+    all_y = np.concatenate([ys for _, ys in cleaned.values()])
+    if all_x.size == 0:
+        raise ValueError("all points are NaN")
+    x_lo, x_hi = x_range if x_range else _pad_range(all_x)
+    y_lo, y_hi = y_range if y_range else _pad_range(all_y)
+
+    grid = [[" "] * width for _ in range(height)]
+    for glyph, (name, (xs, ys)) in zip(_GLYPHS, cleaned.items()):
+        cols = _to_cells(xs, x_lo, x_hi, width)
+        rows = _to_cells(ys, y_lo, y_hi, height)
+        for row, col in zip(rows, cols):
+            grid[height - 1 - row][col] = glyph
+
+    border = "+" + "-" * width + "+"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(border)
+    lines.extend("|" + "".join(row) + "|" for row in grid)
+    lines.append(border)
+    lines.append(
+        f"{x_label}: [{x_lo:.3f}, {x_hi:.3f}]   {y_label}: [{y_lo:.3f}, {y_hi:.3f}]"
+    )
+    legend = "   ".join(
+        f"{glyph} = {name}" for glyph, name in zip(_GLYPHS, cleaned.keys())
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)
+
+
+def plot_figure2_panel(panels: Dict, learner: str, intervention: str, metric: str) -> str:
+    """One Figure 2 panel: tuned vs untuned points, accuracy over fairness."""
+    panel = panels[(learner, intervention, metric)]
+    return ascii_scatter(
+        {
+            "no tuning": (panel["untuned"]["fairness"], panel["untuned"]["accuracy"]),
+            "tuning": (panel["tuned"]["fairness"], panel["tuned"]["accuracy"]),
+        },
+        x_label=metric,
+        y_label="accuracy",
+        title=f"{learner} / {intervention}",
+    )
+
+
+def plot_figure3_panel(panels: Dict, learner: str, intervention: str) -> str:
+    """One Figure 3 panel: scaled vs unscaled points, accuracy over DI."""
+    panel = panels[(learner, intervention)]
+    return ascii_scatter(
+        {
+            "no scaling": (panel["no scaling"]["DI"], panel["no scaling"]["accuracy"]),
+            "scaling": (panel["scaling"]["DI"], panel["scaling"]["accuracy"]),
+        },
+        x_label="DI",
+        y_label="accuracy",
+        title=f"{learner} / {intervention}",
+    )
+
+
+def plot_figure5_panel(panels: Dict, learner: str, intervention: str) -> str:
+    """One Figure 5 panel: complete-case vs imputed points, accuracy over DI."""
+    panel = panels[(learner, intervention)]
+    return ascii_scatter(
+        {
+            "complete case": (
+                panel["complete case"]["DI"],
+                panel["complete case"]["accuracy"],
+            ),
+            "imputed": (panel["imputed"]["DI"], panel["imputed"]["accuracy"]),
+        },
+        x_label="DI",
+        y_label="accuracy",
+        title=f"{learner} / {intervention}",
+    )
+
+
+def _pad_range(values: np.ndarray, fraction: float = 0.08) -> Tuple[float, float]:
+    lo, hi = float(values.min()), float(values.max())
+    if lo == hi:
+        pad = abs(lo) * fraction + 1e-3
+    else:
+        pad = (hi - lo) * fraction
+    return lo - pad, hi + pad
+
+
+def _to_cells(values: np.ndarray, lo: float, hi: float, cells: int) -> np.ndarray:
+    span = hi - lo
+    if span <= 0:
+        return np.zeros(len(values), dtype=int)
+    scaled = (values - lo) / span * (cells - 1)
+    return np.clip(np.round(scaled).astype(int), 0, cells - 1)

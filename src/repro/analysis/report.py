@@ -1,0 +1,99 @@
+"""Text rendering of figure panels (the benches print these tables)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Aligned monospace table."""
+    rendered = [[_cell(value) for value in row] for row in rows]
+    widths = [
+        max(len(str(headers[j])), *(len(row[j]) for row in rendered)) if rendered else len(str(headers[j]))
+        for j in range(len(headers))
+    ]
+    def line(parts):
+        return "  ".join(str(part).ljust(width) for part, width in zip(parts, widths))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        if np.isnan(value):
+            return "nan"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_figure2(panels: Dict) -> str:
+    """One row per (learner, intervention, metric): the tuned-vs-untuned story."""
+    headers = [
+        "learner", "intervention", "metric",
+        "acc(untuned)", "acc(tuned)",
+        "std_fair(untuned)", "std_fair(tuned)", "var_ratio",
+    ]
+    rows: List[List] = []
+    for (learner, intervention, metric), panel in sorted(panels.items()):
+        s = panel["summary"]
+        rows.append([
+            learner, intervention, metric,
+            s["untuned_accuracy"]["mean"], s["tuned_accuracy"]["mean"],
+            s["untuned_fairness"]["std"], s["tuned_fairness"]["std"],
+            s["fairness_variance_ratio"],
+        ])
+    return format_table(headers, rows)
+
+
+def render_figure3(panels: Dict) -> str:
+    headers = [
+        "learner", "intervention",
+        "acc(scaled)", "acc(unscaled)",
+        "fail_rate(scaled)", "fail_rate(unscaled)", "ks",
+    ]
+    rows: List[List] = []
+    for (learner, intervention), panel in sorted(panels.items()):
+        s = panel["summary"]
+        rows.append([
+            learner, intervention,
+            s["scaled_accuracy"]["mean"], s["unscaled_accuracy"]["mean"],
+            s["scaled_failure_rate"], s["unscaled_failure_rate"],
+            s["accuracy_ks_distance"],
+        ])
+    return format_table(headers, rows)
+
+
+def render_figure4(panels: Dict) -> str:
+    headers = [
+        "learner", "intervention", "imputation",
+        "acc(imputed)", "acc(complete)", "delta",
+    ]
+    rows: List[List] = []
+    for (learner, intervention, imputation), panel in sorted(panels.items()):
+        s = panel["summary"]
+        rows.append([
+            learner, intervention, imputation,
+            s["imputed_accuracy"]["mean"], s["complete_accuracy"]["mean"],
+            s["imputed_minus_complete"],
+        ])
+    return format_table(headers, rows)
+
+
+def render_figure5(panels: Dict) -> str:
+    headers = [
+        "learner", "intervention",
+        "acc(cc)", "acc(imputed)", "DI(cc)", "DI(imputed)", "DI_same?",
+    ]
+    rows: List[List] = []
+    for (learner, intervention), panel in sorted(panels.items()):
+        s = panel["summary"]
+        rows.append([
+            learner, intervention,
+            s["complete_case_accuracy"]["mean"], s["imputed_accuracy"]["mean"],
+            s["complete_case_DI"]["mean"], s["imputed_DI"]["mean"],
+            str(s["di_no_significant_difference"]),
+        ])
+    return format_table(headers, rows)

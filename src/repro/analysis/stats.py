@@ -1,0 +1,78 @@
+"""Statistical helpers for comparing experiment outcome distributions."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+from scipy import stats as scipy_stats
+
+
+def summary(values: Sequence[float]) -> Dict[str, float]:
+    """Mean/std/min/max/count over a series, NaN-tolerant."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    arr = arr[~np.isnan(arr)]
+    if arr.size == 0:
+        return {"count": 0, "mean": float("nan"), "std": float("nan"),
+                "min": float("nan"), "max": float("nan")}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "std": float(arr.std(ddof=0)),
+        "min": float(arr.min()),
+        "max": float(arr.max()),
+    }
+
+
+def variance_ratio(treated: Sequence[float], control: Sequence[float]) -> float:
+    """Var(treated) / Var(control); < 1 means the treatment reduced variance.
+
+    This is the Figure 2 headline: tuned-model outcome variance divided by
+    untuned-model outcome variance.
+    """
+    treated = _clean(treated)
+    control = _clean(control)
+    if treated.size < 2 or control.size < 2:
+        return float("nan")
+    control_var = control.var(ddof=0)
+    if control_var == 0:
+        return float("nan")
+    return float(treated.var(ddof=0) / control_var)
+
+
+def ks_distance(a: Sequence[float], b: Sequence[float]) -> float:
+    """Two-sample Kolmogorov-Smirnov statistic (0 = identical distributions)."""
+    a, b = _clean(a), _clean(b)
+    if a.size == 0 or b.size == 0:
+        return float("nan")
+    return float(scipy_stats.ks_2samp(a, b).statistic)
+
+
+def no_significant_difference(
+    a: Sequence[float], b: Sequence[float], alpha: float = 0.05
+) -> bool:
+    """True when a two-sided Mann-Whitney U test fails to reject equality.
+
+    Used for the paper's "no significant difference between mode and datawig
+    imputation" and "no significant impact on disparate impact" claims.
+    """
+    a, b = _clean(a), _clean(b)
+    if a.size < 3 or b.size < 3:
+        raise ValueError("need at least 3 observations per sample")
+    if np.array_equal(a, b):
+        return True
+    result = scipy_stats.mannwhitneyu(a, b, alternative="two-sided")
+    return bool(result.pvalue > alpha)
+
+
+def failure_rate(values: Sequence[float], threshold: float = 0.5) -> float:
+    """Fraction of runs below an accuracy threshold (Figure 3's failed fits)."""
+    arr = _clean(values)
+    if arr.size == 0:
+        return float("nan")
+    return float((arr < threshold).mean())
+
+
+def _clean(values: Sequence[float]) -> np.ndarray:
+    arr = np.asarray(list(values), dtype=np.float64)
+    return arr[~np.isnan(arr)]

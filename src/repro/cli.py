@@ -1,0 +1,271 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``datasets``
+    List the integrated datasets with sizes and protected attributes.
+``describe --dataset NAME``
+    Print a per-column audit of a generated dataset (counts, missing,
+    distributions) — the §2.4-style inspection.
+``run --dataset NAME [options]``
+    Execute a single lifecycle run and print the key test metrics.
+``grid --dataset NAME --seeds N [options]``
+    Execute a seed × intervention sweep and print the aggregate table.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis import format_table, summary
+from .core import (
+    CalibratedEqOddsPostProcessor,
+    CompleteCaseAnalysis,
+    DIRemover,
+    DatawigImputer,
+    DecisionTree,
+    Experiment,
+    GridSpec,
+    LogisticRegression,
+    ModeImputer,
+    NaiveBayes,
+    NoIntervention,
+    RejectOptionPostProcessor,
+    ResultsStore,
+    ReweighingPreProcessor,
+    run_grid,
+)
+from .datasets import dataset_names, load_dataset
+from .frame import describe
+from .learn import MinMaxScaler, NoOpScaler, StandardScaler
+
+_LEARNERS = {
+    "lr": lambda tuned: LogisticRegression(tuned=tuned),
+    "dt": lambda tuned: DecisionTree(tuned=tuned),
+    "nb": lambda tuned: NaiveBayes(),
+}
+
+_INTERVENTIONS = {
+    "none": NoIntervention,
+    "reweighing": ReweighingPreProcessor,
+    "di-remover-0.5": lambda: DIRemover(0.5),
+    "di-remover-1.0": lambda: DIRemover(1.0),
+    "reject-option": lambda: RejectOptionPostProcessor(
+        num_class_thresh=20, num_ROC_margin=15
+    ),
+    "cal-eq-odds": lambda: CalibratedEqOddsPostProcessor(),
+}
+
+_SCALERS = {
+    "standard": StandardScaler,
+    "minmax": MinMaxScaler,
+    "none": NoOpScaler,
+}
+
+_HANDLERS = {
+    "auto": None,  # pick based on the dataset's missingness
+    "complete-case": CompleteCaseAnalysis,
+    "mode": ModeImputer,
+    "learned": DatawigImputer,
+}
+
+_KEY_METRICS = [
+    "overall__accuracy",
+    "privileged__accuracy",
+    "unprivileged__accuracy",
+    "group__disparate_impact",
+    "group__statistical_parity_difference",
+    "group__false_negative_rate_difference",
+    "group__false_positive_rate_difference",
+    "group__theil_index",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FairPrep reproduction: run fairness-intervention studies.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list integrated datasets")
+
+    p_describe = sub.add_parser("describe", help="audit a generated dataset")
+    _dataset_args(p_describe)
+
+    p_run = sub.add_parser("run", help="execute a single lifecycle run")
+    _dataset_args(p_run)
+    _component_args(p_run)
+    p_run.add_argument("--seed", type=int, default=0, help="run seed")
+
+    p_grid = sub.add_parser("grid", help="execute a seed x intervention sweep")
+    _dataset_args(p_grid)
+    _component_args(p_grid)
+    p_grid.add_argument("--seeds", type=int, default=3, help="number of seeds")
+    p_grid.add_argument(
+        "--interventions",
+        nargs="+",
+        default=["none", "reweighing", "di-remover-0.5"],
+        choices=sorted(_INTERVENTIONS),
+    )
+    p_grid.add_argument("--output", default=None, help="JSONL results file")
+    return parser
+
+
+def _dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", required=True, choices=dataset_names())
+    parser.add_argument("--size", type=int, default=None, help="row-count override")
+
+
+def _component_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--learner", default="lr", choices=sorted(_LEARNERS))
+    parser.add_argument("--no-tuning", action="store_true", help="skip grid search")
+    parser.add_argument("--scaler", default="standard", choices=sorted(_SCALERS))
+    parser.add_argument(
+        "--missing", default="auto", choices=sorted(_HANDLERS), dest="missing"
+    )
+    parser.add_argument(
+        "--intervention", default="none", choices=sorted(_INTERVENTIONS)
+    )
+    parser.add_argument(
+        "--protected", default=None, help="protected attribute override"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "datasets":
+        return _cmd_datasets()
+    if args.command == "describe":
+        return _cmd_describe(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    return _cmd_grid(args)
+
+
+def _cmd_datasets() -> int:
+    rows = []
+    for name in dataset_names():
+        frame, spec = load_dataset(name, n=500 if name == "adult" else None)
+        full_rows = {"adult": 32561}.get(name, frame.num_rows)
+        rows.append([
+            name,
+            full_rows,
+            spec.label_column,
+            spec.favorable_value,
+            ",".join(p.column for p in spec.protected_attributes),
+        ])
+    print(format_table(["dataset", "rows", "label", "favorable", "protected"], rows))
+    return 0
+
+
+def _cmd_describe(args) -> int:
+    frame, spec = load_dataset(args.dataset, n=args.size)
+    info = describe(frame)
+    rows = []
+    for column, stats in info.items():
+        detail = (
+            f"mean={stats['mean']:.2f} std={stats['std']:.2f}"
+            if stats["kind"] == "numeric"
+            else f"distinct={stats['distinct']} mode={stats['mode']}"
+        )
+        rows.append([column, stats["kind"], stats["count"], stats["missing"], detail])
+    print(format_table(["column", "kind", "count", "missing", "detail"], rows))
+    print(f"\nincomplete rows: {frame.num_incomplete_rows()} / {frame.num_rows}")
+    return 0
+
+
+def _pick_handler(args, frame, spec):
+    if args.missing != "auto":
+        return _HANDLERS[args.missing]()
+    if frame.missing_mask(spec.feature_columns).any():
+        return ModeImputer()
+    return None
+
+
+def _cmd_run(args) -> int:
+    frame, spec = load_dataset(args.dataset, n=args.size)
+    intervention = _INTERVENTIONS[args.intervention]()
+    from .core.runner import _route_intervention
+
+    pre, post = _route_intervention(intervention)
+    result = Experiment(
+        frame=frame,
+        spec=spec,
+        random_seed=args.seed,
+        learner=_LEARNERS[args.learner](not args.no_tuning),
+        numeric_attribute_scaler=_SCALERS[args.scaler](),
+        missing_value_handler=_pick_handler(args, frame, spec),
+        pre_processor=pre,
+        post_processor=post,
+        protected_attribute=args.protected,
+    ).run()
+    print(f"dataset={result.dataset} seed={result.random_seed} "
+          f"learner={result.best_candidate.learner}")
+    print(f"splits: {result.sizes}\n")
+    rows = [[name, result.test_metrics.get(name, float("nan"))] for name in _KEY_METRICS]
+    print(format_table(["test metric", "value"], rows))
+    if result.test_metrics_incomplete:
+        print(
+            f"\naccuracy on imputed records:  "
+            f"{result.test_metrics_incomplete['overall__accuracy']:.3f}"
+        )
+        print(
+            f"accuracy on complete records: "
+            f"{result.test_metrics_complete['overall__accuracy']:.3f}"
+        )
+    return 0
+
+
+def _cmd_grid(args) -> int:
+    store = ResultsStore(args.output) if args.output else None
+    grid = GridSpec(
+        seeds=list(range(args.seeds)),
+        learners=[lambda: _LEARNERS[args.learner](not args.no_tuning)],
+        interventions=[_INTERVENTIONS[name] for name in args.interventions],
+        scalers=[_SCALERS[args.scaler]],
+        missing_value_handlers=[
+            (lambda: _HANDLERS[args.missing]()) if args.missing != "auto" else (lambda: None)
+        ],
+    )
+    frame, spec = load_dataset(args.dataset, n=args.size)
+    if args.missing == "auto" and frame.missing_mask(spec.feature_columns).any():
+        grid.missing_value_handlers = [lambda: ModeImputer()]
+    print(f"executing {grid.size()} runs on {args.dataset} ...", file=sys.stderr)
+    results = run_grid(
+        (frame, spec),
+        grid,
+        protected_attribute=args.protected,
+        results_store=store,
+        progress=lambda done, total, _: print(f"  {done}/{total}", end="\r", file=sys.stderr),
+    )
+    print(file=sys.stderr)
+    rows = []
+    by_intervention: dict = {}
+    for result in results:
+        label = result.components["pre_processor"]
+        if label == "NoIntervention":
+            label = result.components["post_processor"]
+        by_intervention.setdefault(label, {"accuracy": [], "di": []})
+        by_intervention[label]["accuracy"].append(
+            result.test_metrics["overall__accuracy"]
+        )
+        by_intervention[label]["di"].append(
+            result.test_metrics["group__disparate_impact"]
+        )
+    for label, series in by_intervention.items():
+        acc = summary(series["accuracy"])
+        di = summary(series["di"])
+        rows.append([label, acc["mean"], acc["std"], di["mean"], di["std"]])
+    print(format_table(
+        ["intervention", "accuracy", "acc_std", "DI", "DI_std"], rows
+    ))
+    if store:
+        print(f"\nper-run records written to {args.output}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

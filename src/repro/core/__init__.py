@@ -1,0 +1,111 @@
+"""The FairPrep lifecycle: the paper's primary contribution.
+
+Compose an :class:`Experiment` from exchangeable components (resampler,
+missing-value handler, scaler, learner, pre/post intervention, model
+selector), run it under a fixed seed, and collect the full fairness +
+accuracy metric bundle — with test-set isolation enforced by construction.
+"""
+
+from .components import (
+    Learner,
+    MissingValueHandler,
+    PostProcessor,
+    PreProcessor,
+    Resampler,
+)
+from .experiment import Experiment
+from .featurization import Featurizer
+from .interventions import (
+    CalibratedEqOddsPostProcessor,
+    DIRemover,
+    EqOddsPostProcessor,
+    NoIntervention,
+    RejectOptionPostProcessor,
+    ReweighingPreProcessor,
+)
+from .learners import (
+    DECISION_TREE_GRID,
+    LOGISTIC_REGRESSION_GRID,
+    AdversarialDebiasingLearner,
+    DecisionTree,
+    KNearestNeighbors,
+    LogisticRegression,
+    NaiveBayes,
+    PrejudiceRemoverLearner,
+)
+from .missing_values import (
+    CompleteCaseAnalysis,
+    DatawigImputer,
+    LearnedImputer,
+    ModeImputer,
+    NoMissingValues,
+)
+from .resamplers import (
+    BootstrapResampler,
+    ClassBalancingResampler,
+    NoResampling,
+    StratifiedSampler,
+)
+from .results import CandidateResult, ResultsStore, RunResult, results_to_rows
+from .runner import GridSpec, run_grid
+from .selection import (
+    AccuracySelector,
+    BestModelSelector,
+    ConstrainedSelector,
+    FunctionSelector,
+)
+from .standard_experiments import (
+    AdultExperiment,
+    GermanCreditExperiment,
+    PaymentOptionGenderExperiment,
+    PropublicaExperiment,
+    RicciExperiment,
+)
+
+__all__ = [
+    "AccuracySelector",
+    "AdultExperiment",
+    "AdversarialDebiasingLearner",
+    "BestModelSelector",
+    "BootstrapResampler",
+    "CalibratedEqOddsPostProcessor",
+    "CandidateResult",
+    "ClassBalancingResampler",
+    "CompleteCaseAnalysis",
+    "ConstrainedSelector",
+    "DatawigImputer",
+    "DECISION_TREE_GRID",
+    "DIRemover",
+    "DecisionTree",
+    "EqOddsPostProcessor",
+    "Experiment",
+    "Featurizer",
+    "FunctionSelector",
+    "GermanCreditExperiment",
+    "GridSpec",
+    "KNearestNeighbors",
+    "Learner",
+    "LearnedImputer",
+    "LOGISTIC_REGRESSION_GRID",
+    "LogisticRegression",
+    "MissingValueHandler",
+    "ModeImputer",
+    "NaiveBayes",
+    "NoIntervention",
+    "NoMissingValues",
+    "NoResampling",
+    "PaymentOptionGenderExperiment",
+    "PostProcessor",
+    "PreProcessor",
+    "PrejudiceRemoverLearner",
+    "PropublicaExperiment",
+    "RejectOptionPostProcessor",
+    "Resampler",
+    "ResultsStore",
+    "ReweighingPreProcessor",
+    "RicciExperiment",
+    "RunResult",
+    "StratifiedSampler",
+    "results_to_rows",
+    "run_grid",
+]

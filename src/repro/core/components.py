@@ -1,0 +1,128 @@
+"""Component interfaces of the FairPrep lifecycle (Figure 1 of the paper).
+
+Each lifecycle stage is a single, exchangeable component with a narrow
+interface (the paper's *componentization* goal). The framework — never user
+code — decides which data a component sees: components are fit on training
+data only and applied by the framework to the validation and test sets
+(*inversion of control*, the paper's data-isolation goal).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+from ..fairness import BinaryLabelDataset
+from ..frame import DataFrame
+
+
+class Resampler(abc.ABC):
+    """Optional first stage: resample the raw training frame."""
+
+    @abc.abstractmethod
+    def resample(self, train_frame: DataFrame, seed: int) -> DataFrame:
+        """Return a (possibly) resampled copy of the training frame."""
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class MissingValueHandler(abc.ABC):
+    """Second stage: decide how records with missing values are treated.
+
+    ``fit`` only ever receives the raw *training* frame; ``handle_missing``
+    is applied by the framework to each split separately.
+    """
+
+    @abc.abstractmethod
+    def fit(self, train_frame: DataFrame, feature_columns, seed: int) -> "MissingValueHandler":
+        """Learn whatever statistics/models imputation needs, on train only."""
+
+    @abc.abstractmethod
+    def handle_missing(self, frame: DataFrame) -> DataFrame:
+        """Return a frame with no missing values in the feature columns.
+
+        Complete-case analysis may *drop* rows; imputation strategies must
+        preserve row count and order.
+        """
+
+    @property
+    def drops_rows(self) -> bool:
+        """True when the strategy removes incomplete records."""
+        return False
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class Learner(abc.ABC):
+    """Fifth stage: train a classifier on the (annotated) training data.
+
+    ``fit_model`` receives the training :class:`BinaryLabelDataset` and the
+    run's random seed (for reproducible training, Section 2.5) and returns a
+    fitted model exposing ``predict(features)`` and, when available,
+    ``predict_proba(features)``.
+    """
+
+    @abc.abstractmethod
+    def fit_model(self, train_data: BinaryLabelDataset, seed: int):
+        """Train and return the fitted model."""
+
+    @property
+    def needs_annotated_data(self) -> bool:
+        """In-processing learners need group annotations, not just matrices."""
+        return False
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class PreProcessor(abc.ABC):
+    """Optional fourth stage: fairness intervention on the training data."""
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        train_data: BinaryLabelDataset,
+        privileged_groups,
+        unprivileged_groups,
+        seed: int,
+    ) -> "PreProcessor":
+        """Learn the intervention on training data only."""
+
+    @abc.abstractmethod
+    def transform_train(self, train_data: BinaryLabelDataset) -> BinaryLabelDataset:
+        """Apply the intervention to the training data (weights/features)."""
+
+    def transform_eval(self, data: BinaryLabelDataset) -> BinaryLabelDataset:
+        """Apply the feature-editing part of the intervention to eval data.
+
+        Weight-only interventions (e.g. reweighing) leave evaluation data
+        untouched, which is the default.
+        """
+        return data
+
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class PostProcessor(abc.ABC):
+    """Optional seventh stage: adjust predictions after classification."""
+
+    @abc.abstractmethod
+    def fit(
+        self,
+        validation_true: BinaryLabelDataset,
+        validation_pred: BinaryLabelDataset,
+        privileged_groups,
+        unprivileged_groups,
+        seed: int,
+    ) -> "PostProcessor":
+        """Learn the adjustment on validation predictions."""
+
+    @abc.abstractmethod
+    def apply(self, predictions: BinaryLabelDataset) -> BinaryLabelDataset:
+        """Adjust a prediction dataset."""
+
+    def name(self) -> str:
+        return type(self).__name__

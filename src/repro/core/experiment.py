@@ -1,0 +1,276 @@
+"""The FairPrep experiment lifecycle (Figure 1 of the paper).
+
+An evaluation run has three phases:
+
+1. **Model selection on training + validation data.** The raw dataset is
+   split 70/10/20 (train/validation/test) with the run's seed. The training
+   split flows through resampling → missing-value handling → featurization →
+   optional pre-processing intervention → classifier training. Each fitted
+   transformation is replayed — never refit — on the validation split, and
+   each candidate model's predictions on the validation set are scored with
+   the full metric bundle (optionally after a post-processing intervention
+   fitted on validation predictions).
+2. **User-defined choice of the best model** from the validation metrics.
+3. **One-shot application to the held-out test set.** The chosen model and
+   its fitted transformations are applied to the test split, which user code
+   never touches directly (inversion of control). Metrics are additionally
+   computed separately for test records that originally had missing values,
+   so the effect of data cleaning on affected individuals is visible
+   (the paper's Figure 4/5 analysis).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from ..datasets import DatasetSpec
+from ..fairness import BinaryLabelDataset, ClassificationMetric
+from ..frame import DataFrame, train_validation_test_masks
+from ..learn import StandardScaler
+from .components import Learner, MissingValueHandler, PostProcessor, PreProcessor, Resampler
+from .featurization import Featurizer
+from .interventions import NoIntervention
+from .missing_values import NoMissingValues
+from .resamplers import NoResampling
+from .results import CandidateResult, ResultsStore, RunResult
+from .selection import AccuracySelector, BestModelSelector
+
+
+class Experiment:
+    """A configured, reproducible FairPrep evaluation run.
+
+    Parameters mirror the paper's example: a dataset (frame + spec), a fixed
+    random seed, and one component per lifecycle stage. ``learner`` accepts
+    a list for multi-candidate model selection.
+    """
+
+    def __init__(
+        self,
+        frame: DataFrame,
+        spec: DatasetSpec,
+        random_seed: int,
+        learner: Union[Learner, Sequence[Learner]],
+        missing_value_handler: Optional[MissingValueHandler] = None,
+        numeric_attribute_scaler=None,
+        resampler: Optional[Resampler] = None,
+        pre_processor: Optional[PreProcessor] = None,
+        post_processor: Optional[PostProcessor] = None,
+        categorical_encoder=None,
+        protected_attribute: Optional[str] = None,
+        train_fraction: float = 0.7,
+        validation_fraction: float = 0.1,
+        model_selector: Optional[BestModelSelector] = None,
+        results_store: Optional[ResultsStore] = None,
+    ):
+        spec.validate(frame)
+        self.frame = frame
+        self.spec = spec
+        self.random_seed = int(random_seed)
+        self.learners: List[Learner] = (
+            list(learner) if isinstance(learner, (list, tuple)) else [learner]
+        )
+        if not self.learners:
+            raise ValueError("at least one learner is required")
+        self.missing_value_handler = missing_value_handler or NoMissingValues()
+        self.numeric_attribute_scaler = (
+            numeric_attribute_scaler
+            if numeric_attribute_scaler is not None
+            else StandardScaler()
+        )
+        self.resampler = resampler or NoResampling()
+        self.pre_processor = pre_processor or NoIntervention()
+        self.post_processor = post_processor or NoIntervention()
+        self.categorical_encoder = categorical_encoder
+        self.protected_attribute = protected_attribute or spec.default_protected
+        self.train_fraction = train_fraction
+        self.validation_fraction = validation_fraction
+        self.model_selector = model_selector or AccuracySelector()
+        self.results_store = results_store
+
+    # ------------------------------------------------------------------
+    def run(self) -> RunResult:
+        seed = self.random_seed
+        feature_columns = self.spec.feature_columns
+
+        # -------- phase 1: split + transforms on training data ----------
+        train_mask, validation_mask, test_mask = train_validation_test_masks(
+            self.frame.num_rows,
+            self.train_fraction,
+            self.validation_fraction,
+            seed,
+        )
+        raw_train = self.frame.mask(train_mask)
+        raw_validation = self.frame.mask(validation_mask)
+        raw_test = self.frame.mask(test_mask)
+
+        raw_train = self.resampler.resample(raw_train, seed)
+
+        handler = self.missing_value_handler
+        handler.fit(raw_train, feature_columns, seed)
+        train_frame = handler.handle_missing(raw_train)
+        validation_frame = handler.handle_missing(raw_validation)
+        test_frame = handler.handle_missing(raw_test)
+
+        # which completed rows originally had missing values (empty when the
+        # handler drops incomplete rows instead of imputing them)
+        if handler.drops_rows:
+            validation_had_missing = np.zeros(validation_frame.num_rows, dtype=bool)
+            test_had_missing = np.zeros(test_frame.num_rows, dtype=bool)
+        else:
+            validation_had_missing = raw_validation.missing_mask(feature_columns)
+            test_had_missing = raw_test.missing_mask(feature_columns)
+
+        featurizer = Featurizer(
+            self.spec,
+            numeric_scaler=self.numeric_attribute_scaler,
+            protected_attribute=self.protected_attribute,
+            categorical_encoder=self.categorical_encoder,
+        ).fit(train_frame)
+        privileged = featurizer.privileged_groups
+        unprivileged = featurizer.unprivileged_groups
+
+        train_data = featurizer.transform(train_frame)
+        validation_data = featurizer.transform(validation_frame)
+        test_data = featurizer.transform(test_frame)
+
+        self.pre_processor.fit(train_data, privileged, unprivileged, seed)
+        train_data = self.pre_processor.transform_train(train_data)
+        validation_data_eval = self.pre_processor.transform_eval(validation_data)
+        test_data_eval = self.pre_processor.transform_eval(test_data)
+
+        # -------- phase 1 (continued): candidates + validation metrics --
+        candidates: List[CandidateResult] = []
+        fitted = []
+        for learner in self.learners:
+            model = learner.fit_model(train_data, seed)
+            post = self._fresh_post_processor()
+            validation_pred = self._predict(model, validation_data_eval, validation_data)
+            post.fit(validation_data, validation_pred, privileged, unprivileged, seed)
+            validation_pred = post.apply(validation_pred)
+            train_pred = self._predict(model, train_data, train_data)
+            candidates.append(
+                CandidateResult(
+                    learner=learner.name(),
+                    validation_metrics=self._metrics(validation_data, validation_pred),
+                    train_metrics=self._metrics(train_data, train_pred),
+                    best_params=self._best_params(learner),
+                )
+            )
+            fitted.append((model, post))
+
+        # -------- phase 2: user-defined best-model choice ----------------
+        best_index = self.model_selector.select(
+            [c.validation_metrics for c in candidates]
+        )
+
+        # -------- phase 3: one-shot application to the test set ----------
+        best_model, best_post = fitted[best_index]
+        test_pred = self._predict(best_model, test_data_eval, test_data)
+        test_pred = best_post.apply(test_pred)
+        test_metrics = self._metrics(test_data, test_pred)
+
+        incomplete_metrics: Dict[str, float] = {}
+        complete_metrics: Dict[str, float] = {}
+        if test_had_missing.any():
+            incomplete_metrics = self._metrics(
+                test_data.subset(test_had_missing), test_pred.subset(test_had_missing)
+            )
+            complete_metrics = self._metrics(
+                test_data.subset(~test_had_missing), test_pred.subset(~test_had_missing)
+            )
+
+        result = RunResult(
+            dataset=self.spec.name,
+            random_seed=seed,
+            components=self.component_description(),
+            candidates=candidates,
+            best_index=best_index,
+            test_metrics=test_metrics,
+            test_metrics_incomplete=incomplete_metrics,
+            test_metrics_complete=complete_metrics,
+            sizes={
+                "train": train_frame.num_rows,
+                "validation": validation_frame.num_rows,
+                "test": test_frame.num_rows,
+                "test_incomplete": int(test_had_missing.sum()),
+            },
+        )
+        if self.results_store is not None:
+            self.results_store.append(result)
+        return result
+
+    # ------------------------------------------------------------------
+    def component_description(self) -> Dict[str, str]:
+        return {
+            "resampler": self.resampler.name(),
+            "missing_value_handler": self.missing_value_handler.name(),
+            "scaler": type(self.numeric_attribute_scaler).__name__,
+            "categorical_encoder": (
+                "OneHotEncoder"
+                if self.categorical_encoder is None
+                else type(self.categorical_encoder).__name__
+            ),
+            "pre_processor": self.pre_processor.name(),
+            "post_processor": self.post_processor.name(),
+            "protected_attribute": self.protected_attribute,
+            "selector": self.model_selector.name(),
+            "learners": ",".join(l.name() for l in self.learners),
+        }
+
+    def _fresh_post_processor(self) -> PostProcessor:
+        """Each candidate gets its own fitted post-processor instance."""
+        post = self.post_processor
+        if isinstance(post, NoIntervention):
+            return post
+        return type(post)(**_shallow_params(post))
+
+    def _predict(
+        self,
+        model,
+        eval_data: BinaryLabelDataset,
+        annotation_source: BinaryLabelDataset,
+    ) -> BinaryLabelDataset:
+        """Prediction dataset aligned to the *unrepaired* annotations."""
+        labels = model.predict(eval_data.features)
+        scores = model.predict_scores(eval_data.features)
+        needs_scores = not isinstance(self.post_processor, NoIntervention)
+        if needs_scores and scores is None:
+            raise ValueError(
+                f"post-processor {self.post_processor.name()} requires prediction "
+                "scores but the learner provides none"
+            )
+        return annotation_source.with_predictions(labels=labels, scores=scores)
+
+    def _metrics(
+        self, dataset_true: BinaryLabelDataset, dataset_pred: BinaryLabelDataset
+    ) -> Dict[str, float]:
+        metric = ClassificationMetric(
+            dataset_true,
+            dataset_pred,
+            unprivileged_groups=[{self.protected_attribute: 0.0}],
+            privileged_groups=[{self.protected_attribute: 1.0}],
+        )
+        return metric.all_metrics()
+
+    @staticmethod
+    def _best_params(learner: Learner) -> Optional[Dict]:
+        search = getattr(learner, "last_search_", None)
+        if search is None:
+            return None
+        return dict(search.best_params_)
+
+
+def _shallow_params(component) -> Dict:
+    """Constructor kwargs of a component (public attributes by signature)."""
+    import inspect
+
+    signature = inspect.signature(type(component).__init__)
+    params = {}
+    for name in signature.parameters:
+        if name == "self":
+            continue
+        if hasattr(component, name):
+            params[name] = getattr(component, name)
+    return params

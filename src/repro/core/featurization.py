@@ -1,0 +1,118 @@
+"""Featurization: frame → annotated numeric dataset (third lifecycle stage).
+
+Numeric features pass through a user-chosen scaler; categorical features
+are one-hot encoded with a reserved unseen-value dimension. All aggregate
+statistics are fit on the training split only and replayed on the
+validation/test splits — the leak-free behaviour Section 2.1 demands.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..datasets import DatasetSpec
+from ..fairness import BinaryLabelDataset
+from ..frame import DataFrame
+from ..learn import NoOpScaler, OneHotEncoder, clone
+
+
+class Featurizer:
+    """Fit-once/apply-many conversion of raw frames into model inputs.
+
+    Parameters
+    ----------
+    spec:
+        The dataset spec naming features, label and protected attributes.
+    numeric_scaler:
+        Any transformer with the fit/transform contract (StandardScaler,
+        MinMaxScaler, or NoOpScaler to study the unscaled case).
+    protected_attribute:
+        Which of the spec's protected attributes drives group annotations
+        (defaults to the spec's default).
+    """
+
+    def __init__(
+        self,
+        spec: DatasetSpec,
+        numeric_scaler=None,
+        protected_attribute: Optional[str] = None,
+        categorical_encoder=None,
+    ):
+        self.spec = spec
+        self.numeric_scaler = numeric_scaler if numeric_scaler is not None else NoOpScaler()
+        self.protected_attribute = protected_attribute or spec.default_protected
+        self.categorical_encoder = categorical_encoder
+
+    # ------------------------------------------------------------------
+    def fit(self, train_frame: DataFrame) -> "Featurizer":
+        """Fit scaler and encoder statistics on the training frame."""
+        self._numeric = list(self.spec.numeric_features)
+        self._categorical = list(self.spec.categorical_features)
+        if self._numeric:
+            matrix = train_frame.to_matrix(self._numeric)
+            if np.isnan(matrix).any():
+                raise ValueError(
+                    "missing numeric values reached featurization; run a "
+                    "missing-value handler first"
+                )
+            self.scaler_ = clone(self.numeric_scaler).fit(matrix)
+        if self._categorical:
+            template = (
+                OneHotEncoder(handle_missing="category")
+                if self.categorical_encoder is None
+                else self.categorical_encoder
+            )
+            # target-style encoders consume the training labels; one-hot and
+            # frequency encoders ignore them
+            self.encoder_ = clone(template).fit(
+                [train_frame[c] for c in self._categorical],
+                y=self.spec.label_binary(train_frame),
+            )
+        self.feature_names_ = self._build_feature_names()
+        return self
+
+    def transform(self, frame: DataFrame) -> BinaryLabelDataset:
+        """Convert any split into an annotated BinaryLabelDataset."""
+        if not hasattr(self, "feature_names_"):
+            raise RuntimeError("Featurizer must be fit before transform")
+        blocks: List[np.ndarray] = []
+        if self._numeric:
+            matrix = frame.to_matrix(self._numeric)
+            if np.isnan(matrix).any():
+                raise ValueError(
+                    "missing numeric values reached featurization; run a "
+                    "missing-value handler first"
+                )
+            blocks.append(self.scaler_.transform(matrix))
+        if self._categorical:
+            blocks.append(self.encoder_.transform([frame[c] for c in self._categorical]))
+        features = np.hstack(blocks) if blocks else np.zeros((frame.num_rows, 0))
+        protected = self.spec.protected(self.protected_attribute).binary_column(frame)
+        labels = self.spec.label_binary(frame)
+        return BinaryLabelDataset(
+            features=features,
+            labels=labels,
+            protected_attributes=protected,
+            protected_attribute_names=[self.protected_attribute],
+            feature_names=self.feature_names_,
+        )
+
+    def fit_transform(self, train_frame: DataFrame) -> BinaryLabelDataset:
+        return self.fit(train_frame).transform(train_frame)
+
+    # ------------------------------------------------------------------
+    def _build_feature_names(self) -> List[str]:
+        names = list(self._numeric)
+        if self._categorical:
+            names.extend(self.encoder_.feature_names(self._categorical))
+        return names
+
+    @property
+    def privileged_groups(self):
+        return [{self.protected_attribute: 1.0}]
+
+    @property
+    def unprivileged_groups(self):
+        return [{self.protected_attribute: 0.0}]

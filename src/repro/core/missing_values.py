@@ -1,0 +1,255 @@
+"""Missing-value handlers: the paper's second lifecycle stage.
+
+Three strategies, matching Section 4:
+
+* :class:`CompleteCaseAnalysis` — drop incomplete records (the default in
+  the studies the paper critiques);
+* :class:`ModeImputer` — fill the most frequent value / column mean,
+  statistics learned on the training split only;
+* :class:`LearnedImputer` — the Datawig substitute: one model per target
+  column, trained on the remaining feature columns of the training split
+  (classification for categorical targets, k-NN mean for numeric targets).
+  The alias :class:`DatawigImputer` preserves the paper's component name.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..frame import CATEGORICAL, NUMERIC, Column, DataFrame
+from ..learn import (
+    DecisionTreeClassifier,
+    OneHotEncoder,
+    StandardScaler,
+    nearest_neighbor_indices,
+)
+from .components import MissingValueHandler
+
+
+class CompleteCaseAnalysis(MissingValueHandler):
+    """Remove records that have missing values in any feature column."""
+
+    def fit(self, train_frame: DataFrame, feature_columns, seed: int):
+        self._feature_columns = list(feature_columns)
+        return self
+
+    def handle_missing(self, frame: DataFrame) -> DataFrame:
+        return frame.dropna(self._feature_columns)
+
+    @property
+    def drops_rows(self) -> bool:
+        return True
+
+
+class NoMissingValues(MissingValueHandler):
+    """For complete datasets: assert and pass through.
+
+    Fails loudly if missing values show up, so a complete-data assumption
+    can never silently corrupt an experiment.
+    """
+
+    def fit(self, train_frame: DataFrame, feature_columns, seed: int):
+        self._feature_columns = list(feature_columns)
+        return self
+
+    def handle_missing(self, frame: DataFrame) -> DataFrame:
+        mask = frame.missing_mask(self._feature_columns)
+        if mask.any():
+            raise ValueError(
+                f"{int(mask.sum())} records have missing values but the "
+                "experiment is configured with NoMissingValues"
+            )
+        return frame
+
+
+class ModeImputer(MissingValueHandler):
+    """Fill missing categoricals with the training mode, numerics with the mean."""
+
+    def fit(self, train_frame: DataFrame, feature_columns, seed: int):
+        self._feature_columns = list(feature_columns)
+        self._fill_values: Dict[str, object] = {}
+        for name in self._feature_columns:
+            column = train_frame.col(name)
+            if column.is_categorical:
+                mode = column.mode()
+                self._fill_values[name] = mode if mode is not None else "missing"
+            else:
+                mean = column.mean()
+                self._fill_values[name] = 0.0 if np.isnan(mean) else mean
+        return self
+
+    def handle_missing(self, frame: DataFrame) -> DataFrame:
+        out = frame
+        for name in self._feature_columns:
+            column = out.col(name)
+            if column.has_missing():
+                out = out.with_column(column.fill_missing(self._fill_values[name]))
+        return out
+
+
+class LearnedImputer(MissingValueHandler):
+    """Model-based per-column imputation (the Datawig substitute).
+
+    For each target column with missing values in the training data (or
+    listed in ``target_columns``), a model is learned from the *other*
+    feature columns — never the class label — on the training rows where
+    the target is observed:
+
+    * categorical targets: a decision-tree classifier;
+    * numeric targets: the mean of the ``n_neighbors`` nearest training
+      rows in the encoded feature space.
+
+    Predictor columns are completed with mode/mean statistics (learned on
+    the training split) before encoding, so chained missingness cannot leak
+    information across splits.
+    """
+
+    def __init__(
+        self,
+        target_columns: Optional[Sequence[str]] = None,
+        max_depth: int = 8,
+        n_neighbors: int = 15,
+    ):
+        self.target_columns = None if target_columns is None else list(target_columns)
+        self.max_depth = max_depth
+        self.n_neighbors = n_neighbors
+
+    # ------------------------------------------------------------------
+    def fit(self, train_frame: DataFrame, feature_columns, seed: int):
+        self._feature_columns = list(feature_columns)
+        if self.target_columns is None:
+            targets = [
+                name
+                for name in self._feature_columns
+                if train_frame.col(name).has_missing()
+            ]
+        else:
+            unknown = [c for c in self.target_columns if c not in self._feature_columns]
+            if unknown:
+                raise KeyError(f"target columns outside the feature set: {unknown}")
+            targets = list(self.target_columns)
+        self._targets = targets
+
+        # fallback statistics double as predictor completion
+        self._fallback = ModeImputer().fit(train_frame, self._feature_columns, seed)
+
+        self._models: Dict[str, dict] = {}
+        completed = self._fallback.handle_missing(train_frame)
+        for target in targets:
+            predictors = [c for c in self._feature_columns if c != target]
+            encoder = _PredictorEncoder(predictors).fit(completed)
+            observed = ~train_frame.col(target).missing_mask()
+            if observed.sum() < 5:
+                # too few observed values to learn from; fall back to mode/mean
+                self._models[target] = {"kind": "fallback"}
+                continue
+            X = encoder.transform(completed.mask(observed))
+            target_column = train_frame.col(target)
+            if target_column.is_categorical:
+                y = np.asarray(
+                    [str(v) for v in target_column.values[observed]], dtype=object
+                )
+                if len(set(y)) < 2:
+                    self._models[target] = {"kind": "fallback"}
+                    continue
+                model = DecisionTreeClassifier(
+                    max_depth=self.max_depth,
+                    min_samples_leaf=5,
+                    random_state=seed,
+                ).fit(X, y)
+                self._models[target] = {
+                    "kind": "classifier",
+                    "encoder": encoder,
+                    "model": model,
+                }
+            else:
+                y = target_column.values[observed].astype(np.float64)
+                self._models[target] = {
+                    "kind": "knn",
+                    "encoder": encoder,
+                    "train_X": X,
+                    "train_y": y,
+                }
+        return self
+
+    def handle_missing(self, frame: DataFrame) -> DataFrame:
+        if not hasattr(self, "_models"):
+            raise RuntimeError("LearnedImputer must be fit before handle_missing")
+        out = frame
+        completed_predictors = self._fallback.handle_missing(frame)
+        for target in self._targets:
+            column = out.col(target)
+            mask = column.missing_mask()
+            if not mask.any():
+                continue
+            spec = self._models[target]
+            if spec["kind"] == "fallback":
+                out = out.with_column(
+                    column.fill_missing(self._fallback._fill_values[target])
+                )
+                continue
+            X = spec["encoder"].transform(completed_predictors.mask(mask))
+            if spec["kind"] == "classifier":
+                predictions = spec["model"].predict(X)
+                out = out.with_column(column.set_where(mask, predictions))
+            else:
+                neighbors = nearest_neighbor_indices(
+                    spec["train_X"], X, self.n_neighbors
+                )
+                predictions = spec["train_y"][neighbors].mean(axis=1)
+                out = out.with_column(column.set_where(mask, predictions))
+        # any remaining missing feature values (non-target columns) get the
+        # fallback statistics so downstream featurization never sees NaN
+        residual = [
+            name
+            for name in self._feature_columns
+            if out.col(name).has_missing()
+        ]
+        for name in residual:
+            out = out.with_column(
+                out.col(name).fill_missing(self._fallback._fill_values[name])
+            )
+        return out
+
+    def name(self) -> str:
+        targets = "all" if self.target_columns is None else ",".join(self.target_columns)
+        return f"LearnedImputer({targets})"
+
+
+class DatawigImputer(LearnedImputer):
+    """Alias preserving the paper's component name for the learned imputer."""
+
+
+class _PredictorEncoder:
+    """Encode a frame's predictor columns to a numeric matrix.
+
+    Numeric columns are standardized; categorical columns are one-hot
+    encoded with the unseen-category dimension. Statistics come from the
+    frame passed to :meth:`fit` (the completed training split).
+    """
+
+    def __init__(self, columns: List[str]):
+        self.columns = columns
+
+    def fit(self, frame: DataFrame) -> "_PredictorEncoder":
+        self.numeric_ = [c for c in self.columns if frame.col(c).is_numeric]
+        self.categorical_ = [c for c in self.columns if frame.col(c).is_categorical]
+        if self.numeric_:
+            self.scaler_ = StandardScaler().fit(frame.to_matrix(self.numeric_))
+        if self.categorical_:
+            self.encoder_ = OneHotEncoder().fit(
+                [frame[c] for c in self.categorical_]
+            )
+        return self
+
+    def transform(self, frame: DataFrame) -> np.ndarray:
+        blocks = []
+        if self.numeric_:
+            blocks.append(self.scaler_.transform(frame.to_matrix(self.numeric_)))
+        if self.categorical_:
+            blocks.append(self.encoder_.transform([frame[c] for c in self.categorical_]))
+        if not blocks:
+            return np.zeros((frame.num_rows, 1))
+        return np.hstack(blocks)

@@ -1,0 +1,99 @@
+"""Training-set resamplers (the optional first lifecycle stage)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .components import Resampler
+
+
+class NoResampling(Resampler):
+    """Default: leave the training data as is."""
+
+    def resample(self, train_frame: DataFrame, seed: int) -> DataFrame:
+        return train_frame
+
+
+class BootstrapResampler(Resampler):
+    """Sample ``fraction * n`` rows with replacement (seeded)."""
+
+    def __init__(self, fraction: float = 1.0):
+        if fraction <= 0:
+            raise ValueError("fraction must be positive")
+        self.fraction = fraction
+
+    def resample(self, train_frame: DataFrame, seed: int) -> DataFrame:
+        rng = np.random.default_rng(seed)
+        size = max(1, int(round(self.fraction * train_frame.num_rows)))
+        indices = rng.integers(0, train_frame.num_rows, size=size)
+        return train_frame.take(indices)
+
+    def name(self) -> str:
+        return f"Bootstrap({self.fraction})"
+
+
+class StratifiedSampler(Resampler):
+    """Subsample the training data while preserving a column's proportions.
+
+    The paper lists stratified sampling among the preprocessing techniques
+    FairPrep should grow to support (§7). Strata are the values of
+    ``stratify_column`` (e.g. the protected attribute or the label); within
+    each stratum a ``fraction`` of rows is drawn without replacement.
+    """
+
+    def __init__(self, stratify_column: str, fraction: float = 0.5):
+        if not 0 < fraction <= 1:
+            raise ValueError("fraction must lie in (0, 1]")
+        self.stratify_column = stratify_column
+        self.fraction = fraction
+
+    def resample(self, train_frame: DataFrame, seed: int) -> DataFrame:
+        rng = np.random.default_rng(seed)
+        values = train_frame[self.stratify_column]
+        keys = np.asarray([str(v) for v in values], dtype=object)
+        keep = []
+        for value in sorted(set(keys)):
+            members = np.nonzero(keys == value)[0]
+            size = max(1, int(round(self.fraction * len(members))))
+            keep.append(rng.choice(members, size=size, replace=False))
+        indices = np.sort(np.concatenate(keep))
+        return train_frame.take(indices)
+
+    def name(self) -> str:
+        return f"StratifiedSampler({self.stratify_column}, {self.fraction})"
+
+
+class ClassBalancingResampler(Resampler):
+    """Oversample minority-label rows until both classes are equally frequent."""
+
+    def __init__(self, label_column: str):
+        self.label_column = label_column
+
+    def resample(self, train_frame: DataFrame, seed: int) -> DataFrame:
+        rng = np.random.default_rng(seed)
+        labels = train_frame[self.label_column]
+        values, counts = np.unique(
+            np.asarray([str(v) for v in labels], dtype=object), return_counts=True
+        )
+        if len(values) < 2:
+            return train_frame
+        majority = counts.max()
+        extra_indices = []
+        for value, count in zip(values, counts):
+            deficit = int(majority - count)
+            if deficit == 0:
+                continue
+            members = np.nonzero(
+                np.asarray([str(v) == value for v in labels], dtype=bool)
+            )[0]
+            extra_indices.append(rng.choice(members, size=deficit, replace=True))
+        if not extra_indices:
+            return train_frame
+        indices = np.concatenate(
+            [np.arange(train_frame.num_rows)] + extra_indices
+        )
+        return train_frame.take(indices)
+
+    def name(self) -> str:
+        return f"ClassBalancing({self.label_column})"

@@ -1,0 +1,125 @@
+"""Result records for experiment runs, with JSON/CSV round-trips.
+
+Every experiment writes an output file with its metrics by default (§4 of
+the paper); these records are what the analysis layer consumes to rebuild
+the paper's figures.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class CandidateResult:
+    """One trained model's validation-set outcome."""
+
+    learner: str
+    validation_metrics: Dict[str, float]
+    train_metrics: Dict[str, float] = field(default_factory=dict)
+    best_params: Optional[Dict] = None
+
+
+@dataclass
+class RunResult:
+    """Complete record of a single experiment run (one seed, one config)."""
+
+    dataset: str
+    random_seed: int
+    components: Dict[str, str]
+    candidates: List[CandidateResult]
+    best_index: int
+    test_metrics: Dict[str, float]
+    test_metrics_incomplete: Dict[str, float] = field(default_factory=dict)
+    test_metrics_complete: Dict[str, float] = field(default_factory=dict)
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def best_candidate(self) -> CandidateResult:
+        return self.candidates[self.best_index]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True, allow_nan=True)
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunResult":
+        candidates = [CandidateResult(**c) for c in data["candidates"]]
+        return RunResult(
+            dataset=data["dataset"],
+            random_seed=data["random_seed"],
+            components=data["components"],
+            candidates=candidates,
+            best_index=data["best_index"],
+            test_metrics=data["test_metrics"],
+            test_metrics_incomplete=data.get("test_metrics_incomplete", {}),
+            test_metrics_complete=data.get("test_metrics_complete", {}),
+            sizes=data.get("sizes", {}),
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "RunResult":
+        return RunResult.from_dict(json.loads(text))
+
+
+class ResultsStore:
+    """Append-only JSONL store of run results on disk."""
+
+    def __init__(self, path: str):
+        self.path = path
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+
+    def append(self, result: RunResult) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(result.to_json() + "\n")
+
+    def load(self) -> List[RunResult]:
+        if not os.path.exists(self.path):
+            return []
+        results = []
+        with open(self.path) as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    results.append(RunResult.from_json(line))
+        return results
+
+
+def results_to_rows(results: List[RunResult]) -> List[dict]:
+    """Flatten run results into analysis-friendly rows.
+
+    One row per run: components + seed + every test metric, plus the
+    incomplete/complete test strata (prefixed), plus the best candidate's
+    validation accuracy.
+    """
+    rows = []
+    for result in results:
+        row = {
+            "dataset": result.dataset,
+            "seed": result.random_seed,
+            **{f"component__{k}": v for k, v in result.components.items()},
+            "best_learner": result.best_candidate.learner,
+            **{f"test__{k}": v for k, v in result.test_metrics.items()},
+            **{
+                f"test_incomplete__{k}": v
+                for k, v in result.test_metrics_incomplete.items()
+            },
+            **{
+                f"test_complete__{k}": v
+                for k, v in result.test_metrics_complete.items()
+            },
+        }
+        validation_accuracy = result.best_candidate.validation_metrics.get(
+            "overall__accuracy"
+        )
+        if validation_accuracy is not None:
+            row["validation_accuracy"] = validation_accuracy
+        rows.append(row)
+    return rows

@@ -1,0 +1,119 @@
+"""Best-model selection: the paper's second phase.
+
+After phase 1 trains each candidate and computes its validation metrics,
+"a user can then choose the 'best' model via a user-defined function,
+selecting the model with a suitable fairness / accuracy trade-off for their
+scenario". Selectors receive the list of candidate metric dicts and return
+the chosen index.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+import numpy as np
+
+MetricDict = Dict[str, float]
+
+
+class BestModelSelector:
+    """Base selector: pick the candidate maximizing a metric value."""
+
+    def __init__(self, metric: str = "overall__accuracy", maximize: bool = True):
+        self.metric = metric
+        self.maximize = maximize
+
+    def select(self, candidate_metrics: List[MetricDict]) -> int:
+        if not candidate_metrics:
+            raise ValueError("no candidates to select from")
+        values = []
+        for metrics in candidate_metrics:
+            value = metrics.get(self.metric, float("nan"))
+            values.append(-np.inf if np.isnan(value) else value)
+        values = np.asarray(values)
+        if not self.maximize:
+            values = -values
+        return int(np.argmax(values))
+
+    def name(self) -> str:
+        direction = "max" if self.maximize else "min"
+        return f"{direction}({self.metric})"
+
+
+class AccuracySelector(BestModelSelector):
+    """Default: the candidate with the best validation accuracy."""
+
+    def __init__(self):
+        super().__init__(metric="overall__accuracy", maximize=True)
+
+
+class ConstrainedSelector(BestModelSelector):
+    """Maximize an objective among candidates satisfying a fairness bound.
+
+    E.g. "best accuracy with |disparate impact - 1| <= 0.2". Falls back to
+    the least-violating candidate if none satisfies the constraint.
+    """
+
+    def __init__(
+        self,
+        objective: str = "overall__accuracy",
+        constraint_metric: str = "group__disparate_impact",
+        constraint_target: float = 1.0,
+        constraint_slack: float = 0.2,
+    ):
+        super().__init__(metric=objective, maximize=True)
+        self.constraint_metric = constraint_metric
+        self.constraint_target = constraint_target
+        self.constraint_slack = constraint_slack
+
+    def select(self, candidate_metrics: List[MetricDict]) -> int:
+        if not candidate_metrics:
+            raise ValueError("no candidates to select from")
+        violations = []
+        for metrics in candidate_metrics:
+            value = metrics.get(self.constraint_metric, float("nan"))
+            violation = (
+                np.inf if np.isnan(value) else abs(value - self.constraint_target)
+            )
+            violations.append(violation)
+        feasible = [
+            i for i, v in enumerate(violations) if v <= self.constraint_slack
+        ]
+        if feasible:
+            pool = feasible
+            best = max(
+                pool,
+                key=lambda i: _value_or(-np.inf, candidate_metrics[i], self.metric),
+            )
+            return int(best)
+        return int(np.argmin(violations))
+
+    def name(self) -> str:
+        return (
+            f"max({self.metric}) s.t. |{self.constraint_metric} - "
+            f"{self.constraint_target}| <= {self.constraint_slack}"
+        )
+
+
+class FunctionSelector(BestModelSelector):
+    """Adapt an arbitrary user function ``metrics_list -> index``."""
+
+    def __init__(self, function: Callable[[List[MetricDict]], int], label: str = "custom"):
+        self.function = function
+        self.label = label
+
+    def select(self, candidate_metrics: List[MetricDict]) -> int:
+        index = int(self.function(candidate_metrics))
+        if not 0 <= index < len(candidate_metrics):
+            raise ValueError(
+                f"selector returned index {index} outside 0..{len(candidate_metrics) - 1}"
+            )
+        return index
+
+    def name(self) -> str:
+        return self.label
+
+
+def _value_or(default: float, metrics: MetricDict, key: str) -> float:
+    value = metrics.get(key, float("nan"))
+    return default if np.isnan(value) else value

@@ -1,0 +1,61 @@
+"""Ready-made experiment classes for the integrated datasets.
+
+Each class binds a generated dataset (and its spec) to the lifecycle with
+the paper's split fractions, so configuring a study takes a few lines, as
+in the paper's Section 4 example.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..datasets import load_dataset
+from .experiment import Experiment
+
+
+class _StandardExperiment(Experiment):
+    """Experiment over a registered dataset, generated on construction."""
+
+    dataset_name: str = ""
+
+    def __init__(
+        self,
+        random_seed: int,
+        dataset_size: Optional[int] = None,
+        dataset_seed: int = 0,
+        **kwargs,
+    ):
+        frame, spec = load_dataset(
+            self.dataset_name, n=dataset_size, seed=dataset_seed
+        )
+        super().__init__(frame=frame, spec=spec, random_seed=random_seed, **kwargs)
+
+
+class AdultExperiment(_StandardExperiment):
+    """Adult income prediction; sensitive attributes race (default) and sex."""
+
+    dataset_name = "adult"
+
+
+class GermanCreditExperiment(_StandardExperiment):
+    """German credit-risk prediction; sensitive attribute sex."""
+
+    dataset_name = "germancredit"
+
+
+class PropublicaExperiment(_StandardExperiment):
+    """COMPAS two-year recidivism; sensitive attributes race (default) and sex."""
+
+    dataset_name = "propublica"
+
+
+class RicciExperiment(_StandardExperiment):
+    """Ricci promotion decisions; sensitive attribute race."""
+
+    dataset_name = "ricci"
+
+
+class PaymentOptionGenderExperiment(_StandardExperiment):
+    """The paper's running example: Ann's payment-option classifier."""
+
+    dataset_name = "payment"

@@ -1,0 +1,182 @@
+"""Synthetic Adult Income dataset (UCI calibration).
+
+32,561 rows by default, 14 attributes, sensitive attributes race and sex.
+The generator reproduces the missingness structure the paper documents in
+Sections 2.4 and 5.3, which drives the Figure 4/5 experiments:
+
+* ~2,399 rows (≈7.4%) have missing values, concentrated in ``workclass``,
+  ``occupation`` and ``native_country``;
+* ``native_country`` is missing ~4× more often for non-white persons;
+* the positive label (>50K) occurs with ~24% probability among complete
+  records but only ~14% among incomplete ones;
+* among incomplete records the privileged (white) stratum has ~15% positive
+  rate, a married majority, and a bump of 60–70-year-olds; the non-white
+  stratum has ~10.6% positives, few seniors, and a never-married majority.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import DatasetSpec, ProtectedAttribute
+
+ADULT_SPEC = DatasetSpec(
+    name="adult",
+    label_column="income",
+    favorable_value=">50K",
+    numeric_features=(
+        "age",
+        "fnlwgt",
+        "education_num",
+        "capital_gain",
+        "capital_loss",
+        "hours_per_week",
+    ),
+    categorical_features=(
+        "workclass",
+        "education",
+        "marital_status",
+        "occupation",
+        "relationship",
+        "race",
+        "sex",
+        "native_country",
+    ),
+    protected_attributes=(
+        ProtectedAttribute(column="race", privileged_values=("White",)),
+        ProtectedAttribute(column="sex", privileged_values=("Male",)),
+    ),
+    default_protected="race",
+)
+
+_WORKCLASS = ["Private", "Self-emp-not-inc", "Self-emp-inc", "Federal-gov", "Local-gov", "State-gov", "Without-pay"]
+_EDUCATION = [
+    ("HS-grad", 9), ("Some-college", 10), ("Bachelors", 13), ("Masters", 14),
+    ("Assoc-voc", 11), ("11th", 7), ("Assoc-acdm", 12), ("10th", 6),
+    ("7th-8th", 4), ("Prof-school", 15), ("9th", 5), ("12th", 8),
+    ("Doctorate", 16), ("5th-6th", 3), ("1st-4th", 2), ("Preschool", 1),
+]
+_EDU_P = [0.32, 0.22, 0.16, 0.055, 0.042, 0.036, 0.033, 0.028, 0.02, 0.018, 0.016, 0.013, 0.013, 0.01, 0.005, 0.002]
+_MARITAL = ["Married-civ-spouse", "Never-married", "Divorced", "Separated", "Widowed", "Married-spouse-absent"]
+_OCCUPATION = [
+    "Prof-specialty", "Craft-repair", "Exec-managerial", "Adm-clerical",
+    "Sales", "Other-service", "Machine-op-inspct", "Transport-moving",
+    "Handlers-cleaners", "Farming-fishing", "Tech-support",
+    "Protective-serv", "Priv-house-serv", "Armed-Forces",
+]
+_OCC_P = [0.13, 0.13, 0.13, 0.12, 0.115, 0.105, 0.064, 0.05, 0.044, 0.032, 0.03, 0.021, 0.0048, 0.0002]
+_RELATIONSHIP = ["Husband", "Not-in-family", "Own-child", "Unmarried", "Wife", "Other-relative"]
+_RACE = ["White", "Black", "Asian-Pac-Islander", "Amer-Indian-Eskimo", "Other"]
+_RACE_P = [0.854, 0.096, 0.031, 0.010, 0.009]
+_COUNTRIES = ["United-States", "Mexico", "Philippines", "Germany", "Canada", "Puerto-Rico", "El-Salvador", "India", "Cuba", "England", "China"]
+
+
+def generate_adult(n: int = 32561, seed: int = 0) -> DataFrame:
+    """Generate the synthetic adult frame, including MNAR missing values."""
+    rng = np.random.default_rng(seed)
+    race = rng.choice(_RACE, size=n, p=_RACE_P)
+    white = race == "White"
+    sex = rng.choice(["Male", "Female"], size=n, p=[0.67, 0.33])
+    male = sex == "Male"
+
+    age = np.clip(rng.gamma(7.0, 5.6, n), 17, 90).round()
+    education_idx = rng.choice(len(_EDUCATION), size=n, p=np.asarray(_EDU_P) / sum(_EDU_P))
+    education = np.asarray([_EDUCATION[i][0] for i in education_idx], dtype=object)
+    education_num = np.asarray([_EDUCATION[i][1] for i in education_idx], dtype=float)
+    fnlwgt = np.clip(rng.lognormal(11.9, 0.5, n), 1.3e4, 1.2e6).round()
+    hours = np.clip(rng.normal(40.0 + 3.0 * male, 11.0, n), 1, 99).round()
+    capital_gain = np.where(rng.random(n) < 0.083, rng.lognormal(8.1, 1.3, n), 0.0).round()
+    capital_loss = np.where(rng.random(n) < 0.047, rng.lognormal(7.4, 0.35, n), 0.0).round()
+
+    married_p = np.clip(0.25 + 0.006 * (age - 17) + 0.14 * male, 0.05, 0.9)
+    draw = rng.random(n)
+    marital = np.empty(n, dtype=object)
+    marital[draw < married_p] = "Married-civ-spouse"
+    rest = draw >= married_p
+    marital[rest] = rng.choice(
+        _MARITAL[1:], size=int(rest.sum()), p=[0.53, 0.28, 0.07, 0.065, 0.055]
+    )
+    married = marital == "Married-civ-spouse"
+
+    relationship = np.empty(n, dtype=object)
+    relationship[married & male] = "Husband"
+    relationship[married & ~male] = "Wife"
+    unmarried = ~married
+    relationship[unmarried] = rng.choice(
+        ["Not-in-family", "Own-child", "Unmarried", "Other-relative"],
+        size=int(unmarried.sum()),
+        p=[0.47, 0.28, 0.19, 0.06],
+    )
+
+    workclass = rng.choice(_WORKCLASS, size=n, p=[0.753, 0.085, 0.037, 0.032, 0.07, 0.022, 0.001])
+    occupation = rng.choice(_OCCUPATION, size=n, p=np.asarray(_OCC_P) / sum(_OCC_P))
+    country_choice = rng.choice(_COUNTRIES, size=n, p=[0.913, 0.02, 0.012, 0.009, 0.008, 0.008, 0.007, 0.006, 0.006, 0.006, 0.005])
+    native_country = country_choice.astype(object)
+
+    # income model: education, age, hours, capital gains, marriage, and the
+    # demographic disparities observed in the census data
+    high_occ = np.isin(occupation, ["Exec-managerial", "Prof-specialty", "Tech-support"])
+    score = (
+        0.42 * (education_num - 10.0)
+        + 0.045 * (np.minimum(age, 60) - 38.0)
+        + 0.035 * (hours - 40.0)
+        + 1.25 * (capital_gain > 5000)
+        + 1.35 * married
+        + 0.55 * high_occ
+        + 0.35 * male
+        + 0.28 * white
+        + rng.normal(0.0, 1.25, n)
+    )
+    threshold = np.quantile(score, 1.0 - 0.2408)
+    income = np.where(score > threshold, ">50K", "<=50K").astype(object)
+
+    # ----- missingness (MNAR, per the paper's audit) --------------------
+    # target ≈ 7.4% incomplete rows; never-married, lower-income rows are
+    # likelier to be incomplete, which yields the 24% vs 14% label gap
+    base = 0.050
+    incomplete_p = (
+        base
+        + 0.042 * (marital == "Never-married")
+        + 0.028 * (income == "<=50K")
+        - 0.018 * married
+    )
+    # the privileged incomplete stratum skews old (60-70) and married
+    incomplete_p = incomplete_p + np.where(white & (age >= 60) & (age < 70), 0.06, 0.0)
+    incomplete_p = incomplete_p + np.where(~white & (age < 60), 0.015, 0.0)
+    incomplete = rng.random(n) < np.clip(incomplete_p, 0.0, 1.0)
+
+    workclass = workclass.astype(object)
+    occupation = occupation.astype(object)
+    # workclass and occupation go missing together (as in the census files)
+    wc_missing = incomplete & (rng.random(n) < 0.78)
+    workclass[wc_missing] = None
+    occupation[wc_missing] = None
+    # native-country missing ~4x more often for non-white persons
+    nc_rate = np.where(white, 0.23, 0.92)
+    nc_missing = incomplete & (rng.random(n) < nc_rate)
+    native_country[nc_missing] = None
+    # rows flagged incomplete but that dodged both draws: force workclass
+    neither = incomplete & ~wc_missing & ~nc_missing
+    workclass[neither] = None
+    occupation[neither] = None
+
+    return DataFrame.from_dict(
+        {
+            "age": age,
+            "workclass": workclass,
+            "fnlwgt": fnlwgt,
+            "education": education,
+            "education_num": education_num,
+            "marital_status": marital,
+            "occupation": occupation,
+            "relationship": relationship,
+            "race": race,
+            "sex": sex,
+            "capital_gain": capital_gain,
+            "capital_loss": capital_loss,
+            "hours_per_week": hours,
+            "native_country": native_country,
+            "income": income,
+        }
+    )

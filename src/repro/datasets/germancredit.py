@@ -1,0 +1,147 @@
+"""Synthetic German Credit dataset (Statlog calibration).
+
+1,000 people, 20 attributes (7 numeric, 13 categorical), a good/bad credit
+label at the real dataset's 70/30 split, and the sensitive attribute sex
+(derived from ``personal_status_sex``, as in the original). A latent risk
+score ties the informative attributes to the label so that classifiers and
+interventions have real signal to work with, and a mild sex-correlated
+component yields the modest base-rate disparity fairness studies observe on
+the real data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import DatasetSpec, ProtectedAttribute
+
+GERMANCREDIT_SPEC = DatasetSpec(
+    name="germancredit",
+    label_column="credit_risk",
+    favorable_value="good",
+    numeric_features=(
+        "duration_months",
+        "credit_amount",
+        "installment_rate",
+        "present_residence_since",
+        "age",
+        "existing_credits",
+        "num_dependents",
+    ),
+    categorical_features=(
+        "status_checking",
+        "credit_history",
+        "purpose",
+        "savings",
+        "employment_since",
+        "personal_status_sex",
+        "other_debtors",
+        "property",
+        "other_installment_plans",
+        "housing",
+        "job",
+        "telephone",
+        "foreign_worker",
+    ),
+    protected_attributes=(
+        ProtectedAttribute(column="sex", privileged_values=("male",)),
+    ),
+)
+
+_CHECKING = ["lt_0", "0_to_200", "ge_200", "no_account"]
+_HISTORY = ["critical", "delayed", "existing_paid", "all_paid", "no_credits"]
+_PURPOSE = ["car_new", "car_used", "furniture", "radio_tv", "education", "business", "repairs", "other"]
+_SAVINGS = ["lt_100", "100_to_500", "500_to_1000", "ge_1000", "unknown"]
+_EMPLOYMENT = ["unemployed", "lt_1", "1_to_4", "4_to_7", "ge_7"]
+_STATUS_SEX_MALE = ["male_single", "male_married", "male_divorced"]
+_STATUS_SEX_FEMALE = ["female_div_sep_mar", "female_single"]
+_DEBTORS = ["none", "co_applicant", "guarantor"]
+_PROPERTY = ["real_estate", "life_insurance", "car_other", "unknown"]
+_PLANS = ["none", "bank", "stores"]
+_HOUSING = ["own", "rent", "for_free"]
+_JOB = ["unskilled", "skilled", "management", "unemployed_nonres"]
+
+
+def generate_germancredit(n: int = 1000, seed: int = 0) -> DataFrame:
+    """Generate the synthetic germancredit frame (complete, no missing values)."""
+    rng = np.random.default_rng(seed)
+    # ~69% male applicants, as in the Statlog data
+    is_male = rng.random(n) < 0.69
+    sex = np.where(is_male, "male", "female")
+    personal_status = np.where(
+        is_male,
+        rng.choice(_STATUS_SEX_MALE, size=n, p=[0.70, 0.18, 0.12]),
+        rng.choice(_STATUS_SEX_FEMALE, size=n, p=[0.85, 0.15]),
+    )
+
+    age = np.clip(rng.gamma(6.0, 6.0, n) + 19.0, 19, 75).round()
+    duration = np.clip(rng.gamma(2.2, 9.5, n), 4, 72).round()
+    credit_amount = np.clip(rng.lognormal(7.7, 0.9, n), 250, 18500).round()
+    installment_rate = rng.integers(1, 5, n).astype(float)
+    residence_since = rng.integers(1, 5, n).astype(float)
+    existing_credits = np.clip(rng.poisson(0.45, n) + 1, 1, 4).astype(float)
+    num_dependents = np.where(rng.random(n) < 0.15, 2.0, 1.0)
+
+    checking = rng.choice(_CHECKING, size=n, p=[0.27, 0.27, 0.06, 0.40])
+    history = rng.choice(_HISTORY, size=n, p=[0.29, 0.09, 0.53, 0.05, 0.04])
+    purpose = rng.choice(_PURPOSE, size=n, p=[0.23, 0.10, 0.18, 0.28, 0.05, 0.10, 0.02, 0.04])
+    savings = rng.choice(_SAVINGS, size=n, p=[0.60, 0.10, 0.06, 0.06, 0.18])
+    employment = rng.choice(_EMPLOYMENT, size=n, p=[0.06, 0.17, 0.34, 0.17, 0.26])
+    debtors = rng.choice(_DEBTORS, size=n, p=[0.91, 0.04, 0.05])
+    property_ = rng.choice(_PROPERTY, size=n, p=[0.28, 0.23, 0.33, 0.16])
+    plans = rng.choice(_PLANS, size=n, p=[0.81, 0.14, 0.05])
+    housing = rng.choice(_HOUSING, size=n, p=[0.71, 0.18, 0.11])
+    job = rng.choice(_JOB, size=n, p=[0.20, 0.63, 0.15, 0.02])
+    telephone = rng.choice(["none", "yes"], size=n, p=[0.60, 0.40])
+    foreign = rng.choice(["yes", "no"], size=n, p=[0.96, 0.04])
+
+    # latent creditworthiness: good checking/savings/history and shorter,
+    # smaller loans are safer; a mild sex term creates the group disparity
+    risk = (
+        -1.1 * (checking == "lt_0")
+        - 0.5 * (checking == "0_to_200")
+        + 0.8 * (checking == "no_account")
+        + 0.7 * (history == "critical")
+        - 0.5 * (history == "all_paid")
+        - 0.35 * (savings == "lt_100")
+        + 0.5 * (savings == "ge_1000")
+        - 0.012 * (duration - duration.mean())
+        - 0.00008 * (credit_amount - credit_amount.mean())
+        + 0.010 * (age - age.mean())
+        + 0.25 * (employment == "ge_7")
+        - 0.35 * (employment == "unemployed")
+        + 0.15 * (housing == "own")
+        + 0.22 * is_male
+        + rng.normal(0.0, 0.9, n)
+    )
+    # calibrate the threshold so that ~70% of applicants are 'good'
+    threshold = np.quantile(risk, 0.30)
+    credit_risk = np.where(risk > threshold, "good", "bad")
+
+    return DataFrame.from_dict(
+        {
+            "status_checking": checking,
+            "duration_months": duration,
+            "credit_history": history,
+            "purpose": purpose,
+            "credit_amount": credit_amount,
+            "savings": savings,
+            "employment_since": employment,
+            "installment_rate": installment_rate,
+            "personal_status_sex": personal_status,
+            "other_debtors": debtors,
+            "present_residence_since": residence_since,
+            "property": property_,
+            "age": age,
+            "other_installment_plans": plans,
+            "housing": housing,
+            "existing_credits": existing_credits,
+            "job": job,
+            "num_dependents": num_dependents,
+            "telephone": telephone,
+            "foreign_worker": foreign,
+            "sex": sex,
+            "credit_risk": credit_risk,
+        }
+    )

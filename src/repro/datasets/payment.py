@@ -1,0 +1,79 @@
+"""Synthetic payment-option dataset (the paper's Section 1.1 scenario).
+
+Ann's online-retail use case: decide which payment options to offer a
+customer from self-reported demographics plus purchase history. The
+generator builds in exactly the pathologies of the running example:
+
+* the ``age`` attribute is missing far more often for female customers;
+* age matters for the label, so dropping or poorly imputing it induces the
+  error-rate disparity Ann observed for middle-aged women;
+* demographic and behavioural features carry the predictive signal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import DatasetSpec, ProtectedAttribute
+
+PAYMENT_SPEC = DatasetSpec(
+    name="payment",
+    label_column="offer_invoice",
+    favorable_value="yes",
+    numeric_features=(
+        "age",
+        "purchase_count",
+        "avg_basket_value",
+        "return_rate",
+        "tenure_months",
+    ),
+    categorical_features=("gender", "country", "newsletter"),
+    protected_attributes=(
+        ProtectedAttribute(column="gender", privileged_values=("male",)),
+    ),
+)
+
+
+def generate_payment(n: int = 5000, seed: int = 0) -> DataFrame:
+    """Generate the synthetic payment frame with gendered age missingness."""
+    rng = np.random.default_rng(seed)
+    female = rng.random(n) < 0.52
+    gender = np.where(female, "female", "male").astype(object)
+    age = np.clip(rng.normal(41.0, 13.0, n), 18, 85).round()
+    purchase_count = np.clip(rng.poisson(9.0, n), 0, 80).astype(float)
+    avg_basket = np.clip(rng.lognormal(3.6, 0.6, n), 5, 900).round(2)
+    return_rate = np.clip(rng.beta(1.4, 9.0, n), 0, 1).round(3)
+    tenure = np.clip(rng.gamma(2.0, 14.0, n), 1, 160).round()
+    country = rng.choice(["DE", "US", "FR", "NL", "PL"], size=n, p=[0.4, 0.25, 0.15, 0.12, 0.08])
+    newsletter = rng.choice(["yes", "no"], size=n, p=[0.35, 0.65])
+
+    # reliable payers: older, loyal, low-return customers
+    score = (
+        0.035 * (age - 40.0)
+        + 0.05 * (purchase_count - 9.0)
+        + 0.012 * (tenure - 28.0)
+        - 3.2 * (return_rate - 0.13)
+        + 0.002 * (avg_basket - 40.0)
+        + rng.normal(0.0, 0.9, n)
+    )
+    offer = np.where(score > np.quantile(score, 0.45), "yes", "no").astype(object)
+
+    # age goes missing ~3x more often for women (self-reported demographics)
+    missing_p = np.where(female, 0.18, 0.06)
+    age = age.astype(object)
+    age[rng.random(n) < missing_p] = None
+    return DataFrame.from_dict(
+        {
+            "gender": gender,
+            "age": age,
+            "purchase_count": purchase_count,
+            "avg_basket_value": avg_basket,
+            "return_rate": return_rate,
+            "tenure_months": tenure,
+            "country": country,
+            "newsletter": newsletter,
+            "offer_invoice": offer,
+        },
+        kinds={"age": "numeric"},
+    )

@@ -1,0 +1,93 @@
+"""Synthetic ProPublica COMPAS dataset.
+
+~6,172 defendants from the two-year recidivism cohort: demographics,
+criminal history, charge degree, COMPAS decile scores, and the binary
+``two_year_recid`` outcome. Sensitive attributes race and sex. The
+generator reproduces the headline statistics of the ProPublica analysis:
+a ~45% recidivism base rate, recidivism driven mostly by priors and youth,
+and decile scores skewed upward for African-American defendants beyond
+what the outcome model explains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import DatasetSpec, ProtectedAttribute
+
+PROPUBLICA_SPEC = DatasetSpec(
+    name="propublica",
+    label_column="two_year_recid",
+    favorable_value="no",  # not being rearrested is the favorable outcome
+    numeric_features=(
+        "age",
+        "juv_fel_count",
+        "juv_misd_count",
+        "juv_other_count",
+        "priors_count",
+        "decile_score",
+    ),
+    categorical_features=("c_charge_degree", "age_cat", "sex"),
+    protected_attributes=(
+        ProtectedAttribute(column="race", privileged_values=("Caucasian",)),
+        ProtectedAttribute(column="sex", privileged_values=("Female",)),
+    ),
+    default_protected="race",
+)
+
+_RACES = ["African-American", "Caucasian", "Hispanic", "Other", "Asian", "Native American"]
+_RACE_P = [0.514, 0.340, 0.082, 0.055, 0.005, 0.004]
+
+
+def generate_propublica(n: int = 6172, seed: int = 0) -> DataFrame:
+    """Generate the synthetic propublica frame (complete, no missing values)."""
+    rng = np.random.default_rng(seed)
+    race = rng.choice(_RACES, size=n, p=_RACE_P)
+    black = race == "African-American"
+    sex = rng.choice(["Male", "Female"], size=n, p=[0.81, 0.19])
+    age = np.clip(rng.gamma(4.6, 7.6, n), 18, 96).round()
+    age_cat = np.where(
+        age < 25, "Less than 25", np.where(age <= 45, "25 - 45", "Greater than 45")
+    ).astype(object)
+    priors = np.clip(rng.negative_binomial(1.1, 0.26, n), 0, 38).astype(float)
+    juv_fel = np.clip(rng.poisson(0.06, n), 0, 10).astype(float)
+    juv_misd = np.clip(rng.poisson(0.09, n), 0, 12).astype(float)
+    juv_other = np.clip(rng.poisson(0.10, n), 0, 9).astype(float)
+    charge = rng.choice(["F", "M"], size=n, p=[0.64, 0.36])
+
+    # recidivism: priors and youth dominate; modest race/sex effects
+    risk = (
+        0.16 * priors
+        + 0.35 * juv_fel
+        + 0.22 * juv_misd
+        - 0.040 * (age - 34.0)
+        + 0.18 * (charge == "F")
+        + 0.23 * black
+        + 0.17 * (sex == "Male")
+        + rng.normal(0.0, 1.0, n)
+    )
+    threshold = np.quantile(risk, 1.0 - 0.451)
+    recid = np.where(risk > threshold, "yes", "no").astype(object)
+
+    # decile scores track the risk model but with an extra race skew (the
+    # disparity ProPublica documented)
+    score_latent = risk + 0.55 * black + rng.normal(0.0, 0.6, n)
+    edges = np.quantile(score_latent, np.linspace(0.1, 0.9, 9))
+    decile = (np.searchsorted(edges, score_latent) + 1).astype(float)
+
+    return DataFrame.from_dict(
+        {
+            "sex": sex,
+            "age": age,
+            "age_cat": age_cat,
+            "race": race,
+            "juv_fel_count": juv_fel,
+            "juv_misd_count": juv_misd,
+            "juv_other_count": juv_other,
+            "priors_count": priors,
+            "c_charge_degree": charge,
+            "decile_score": decile,
+            "two_year_recid": recid,
+        }
+    )

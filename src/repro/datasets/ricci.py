@@ -1,0 +1,69 @@
+"""Synthetic Ricci v. DeStefano dataset.
+
+118 firefighters, 5 attributes: position (Captain/Lieutenant), race,
+written and oral exam scores, and the combined score
+``combine = 0.6 * written + 0.4 * oral``. The original promotion decision
+assigns the positive class iff the combined score reaches 70 — exactly the
+rule the paper states — and the generator reproduces the racial score gap
+at the heart of the Supreme Court case.
+
+The raw exam scores live on a 0–100 scale, which is what makes ricci the
+paper's Figure 3 stress test for unscaled features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..frame import DataFrame
+from .base import DatasetSpec, ProtectedAttribute
+
+RICCI_SPEC = DatasetSpec(
+    name="ricci",
+    label_column="promoted",
+    favorable_value="yes",
+    numeric_features=("written", "oral", "combine"),
+    categorical_features=("position",),
+    protected_attributes=(
+        ProtectedAttribute(column="race", privileged_values=("White",)),
+    ),
+)
+
+
+def generate_ricci(n: int = 118, seed: int = 0) -> DataFrame:
+    """Generate the synthetic ricci frame (complete, no missing values)."""
+    rng = np.random.default_rng(seed)
+    # 41 captain candidates / 77 lieutenant candidates; W/B/H ≈ 68/27/23
+    position = rng.permuted(
+        np.asarray(
+            ["Captain"] * int(round(n * 41 / 118))
+            + ["Lieutenant"] * (n - int(round(n * 41 / 118))),
+            dtype=object,
+        )
+    )
+    n_white = int(round(n * 68 / 118))
+    n_black = int(round(n * 27 / 118))
+    race = rng.permuted(
+        np.asarray(
+            ["White"] * n_white
+            + ["Black"] * n_black
+            + ["Hispanic"] * (n - n_white - n_black),
+            dtype=object,
+        )
+    )
+    white = race == "White"
+    # written exam shows the contested racial gap; oral is narrower
+    written = np.clip(rng.normal(72.0 + 8.0 * white - 8.0, 9.5, n), 32, 99).round(2)
+    oral = np.clip(rng.normal(69.0 + 3.0 * white - 3.0, 8.0, n), 35, 99).round(2)
+    combine = (0.6 * written + 0.4 * oral).round(2)
+    promoted = np.where(combine >= 70.0, "yes", "no").astype(object)
+    return DataFrame.from_dict(
+        {
+            "position": position,
+            "race": race,
+            "written": written,
+            "oral": oral,
+            "combine": combine,
+            "promoted": promoted,
+        }
+    )

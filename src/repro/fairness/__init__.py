@@ -1,0 +1,40 @@
+"""Fairness substrate with the AIF360 API shape.
+
+Datasets, metrics and the intervention families the FairPrep paper
+evaluates: reweighing and disparate-impact removal (pre-processing),
+adversarial debiasing and prejudice removal (in-processing), reject-option
+classification, calibrated equalized odds and equalized odds
+(post-processing).
+"""
+
+from .dataset import FAVORABLE, UNFAVORABLE, BinaryLabelDataset
+from .explainer import MetricTextExplainer
+from .inprocessing import AdversarialDebiasing, PrejudiceRemover
+from .metrics import (
+    BinaryLabelDatasetMetric,
+    ClassificationMetric,
+    generalized_entropy_index_from_benefits,
+)
+from .postprocessing import (
+    CalibratedEqOddsPostprocessing,
+    EqOddsPostprocessing,
+    RejectOptionClassification,
+)
+from .preprocessing import DisparateImpactRemover, Reweighing
+
+__all__ = [
+    "AdversarialDebiasing",
+    "BinaryLabelDataset",
+    "BinaryLabelDatasetMetric",
+    "CalibratedEqOddsPostprocessing",
+    "ClassificationMetric",
+    "DisparateImpactRemover",
+    "EqOddsPostprocessing",
+    "FAVORABLE",
+    "MetricTextExplainer",
+    "PrejudiceRemover",
+    "RejectOptionClassification",
+    "Reweighing",
+    "UNFAVORABLE",
+    "generalized_entropy_index_from_benefits",
+]

@@ -1,0 +1,211 @@
+"""Binary-label dataset abstraction (the AIF360 ``BinaryLabelDataset`` analog).
+
+A :class:`BinaryLabelDataset` bundles everything a fairness metric or
+intervention needs: the feature matrix, binary labels, optional prediction
+scores, instance weights, and the protected-attribute columns with their
+privileged/unprivileged group definitions.
+
+Group definitions follow the AIF360 convention: a *group* is a list of
+dicts, each dict mapping protected attribute names to required values; a row
+belongs to the group if it matches *any* dict completely (OR of ANDs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+FAVORABLE = 1.0
+UNFAVORABLE = 0.0
+
+GroupSpec = List[Dict[str, float]]
+
+
+class BinaryLabelDataset:
+    """Features, binary labels, weights and protected attributes.
+
+    Parameters
+    ----------
+    features:
+        ``(n, d)`` numeric matrix (already featurized).
+    labels:
+        ``(n,)`` array of ``favorable_label`` / ``unfavorable_label``.
+    protected_attributes:
+        ``(n, p)`` numeric matrix of protected attribute values
+        (conventionally 1.0 for the privileged value).
+    protected_attribute_names:
+        Names for the ``p`` protected columns.
+    instance_weights:
+        Optional ``(n,)`` weights (all ones by default); interventions such
+        as reweighing act on these.
+    scores:
+        Optional ``(n,)`` probability-like scores in [0, 1] used by
+        post-processing interventions.
+    feature_names:
+        Optional names for the ``d`` feature columns.
+    """
+
+    def __init__(
+        self,
+        features: np.ndarray,
+        labels: np.ndarray,
+        protected_attributes: np.ndarray,
+        protected_attribute_names: Sequence[str],
+        instance_weights: Optional[np.ndarray] = None,
+        scores: Optional[np.ndarray] = None,
+        feature_names: Optional[Sequence[str]] = None,
+        favorable_label: float = FAVORABLE,
+        unfavorable_label: float = UNFAVORABLE,
+    ):
+        self.features = np.asarray(features, dtype=np.float64)
+        if self.features.ndim != 2:
+            raise ValueError("features must be a 2-D matrix")
+        n = self.features.shape[0]
+
+        self.labels = np.asarray(labels, dtype=np.float64).ravel()
+        if len(self.labels) != n:
+            raise ValueError("labels length does not match features")
+        if favorable_label == unfavorable_label:
+            raise ValueError("favorable and unfavorable labels must differ")
+        self.favorable_label = float(favorable_label)
+        self.unfavorable_label = float(unfavorable_label)
+        allowed = {self.favorable_label, self.unfavorable_label}
+        present = set(np.unique(self.labels))
+        if not present <= allowed:
+            raise ValueError(
+                f"labels contain values {sorted(present - allowed)} outside "
+                f"{sorted(allowed)}"
+            )
+
+        self.protected_attributes = np.asarray(
+            protected_attributes, dtype=np.float64
+        )
+        if self.protected_attributes.ndim == 1:
+            self.protected_attributes = self.protected_attributes.reshape(-1, 1)
+        if self.protected_attributes.shape[0] != n:
+            raise ValueError("protected_attributes rows do not match features")
+        self.protected_attribute_names = list(protected_attribute_names)
+        if len(self.protected_attribute_names) != self.protected_attributes.shape[1]:
+            raise ValueError(
+                "protected_attribute_names length does not match columns"
+            )
+
+        if instance_weights is None:
+            self.instance_weights = np.ones(n, dtype=np.float64)
+        else:
+            self.instance_weights = np.asarray(instance_weights, dtype=np.float64).ravel()
+            if len(self.instance_weights) != n:
+                raise ValueError("instance_weights length does not match features")
+            if (self.instance_weights < 0).any():
+                raise ValueError("instance_weights must be non-negative")
+
+        if scores is None:
+            self.scores = None
+        else:
+            self.scores = np.asarray(scores, dtype=np.float64).ravel()
+            if len(self.scores) != n:
+                raise ValueError("scores length does not match features")
+
+        if feature_names is None:
+            self.feature_names = [f"f{i}" for i in range(self.features.shape[1])]
+        else:
+            self.feature_names = list(feature_names)
+            if len(self.feature_names) != self.features.shape[1]:
+                raise ValueError("feature_names length does not match columns")
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    @property
+    def num_instances(self) -> int:
+        return self.features.shape[0]
+
+    def copy(self) -> "BinaryLabelDataset":
+        return BinaryLabelDataset(
+            features=self.features.copy(),
+            labels=self.labels.copy(),
+            protected_attributes=self.protected_attributes.copy(),
+            protected_attribute_names=list(self.protected_attribute_names),
+            instance_weights=self.instance_weights.copy(),
+            scores=None if self.scores is None else self.scores.copy(),
+            feature_names=list(self.feature_names),
+            favorable_label=self.favorable_label,
+            unfavorable_label=self.unfavorable_label,
+        )
+
+    def subset(self, mask) -> "BinaryLabelDataset":
+        """Row subset by boolean mask or index array."""
+        mask = np.asarray(mask)
+        return BinaryLabelDataset(
+            features=self.features[mask],
+            labels=self.labels[mask],
+            protected_attributes=self.protected_attributes[mask],
+            protected_attribute_names=list(self.protected_attribute_names),
+            instance_weights=self.instance_weights[mask],
+            scores=None if self.scores is None else self.scores[mask],
+            feature_names=list(self.feature_names),
+            favorable_label=self.favorable_label,
+            unfavorable_label=self.unfavorable_label,
+        )
+
+    def with_predictions(self, labels=None, scores=None) -> "BinaryLabelDataset":
+        """Copy carrying new labels and/or scores (for prediction datasets)."""
+        out = self.copy()
+        if labels is not None:
+            labels = np.asarray(labels, dtype=np.float64).ravel()
+            if len(labels) != self.num_instances:
+                raise ValueError("labels length mismatch")
+            out.labels = labels
+        if scores is not None:
+            scores = np.asarray(scores, dtype=np.float64).ravel()
+            if len(scores) != self.num_instances:
+                raise ValueError("scores length mismatch")
+            out.scores = scores
+        return out
+
+    def protected_column(self, name: str) -> np.ndarray:
+        try:
+            j = self.protected_attribute_names.index(name)
+        except ValueError:
+            raise KeyError(
+                f"no protected attribute {name!r}; "
+                f"available: {self.protected_attribute_names}"
+            ) from None
+        return self.protected_attributes[:, j]
+
+    # ------------------------------------------------------------------
+    # group handling
+    # ------------------------------------------------------------------
+    def group_mask(self, groups: Optional[GroupSpec]) -> np.ndarray:
+        """Boolean row mask for a group spec (OR of ANDs); None = all rows."""
+        if groups is None:
+            return np.ones(self.num_instances, dtype=bool)
+        if not groups:
+            raise ValueError("group spec must contain at least one condition")
+        mask = np.zeros(self.num_instances, dtype=bool)
+        for condition in groups:
+            if not condition:
+                raise ValueError("group condition dict must not be empty")
+            clause = np.ones(self.num_instances, dtype=bool)
+            for name, value in condition.items():
+                clause &= self.protected_column(name) == float(value)
+            mask |= clause
+        return mask
+
+    def favorable_mask(self) -> np.ndarray:
+        return self.labels == self.favorable_label
+
+    def validate_compatible(self, other: "BinaryLabelDataset") -> None:
+        """Check that ``other`` aligns row-for-row (for metric computation)."""
+        if other.num_instances != self.num_instances:
+            raise ValueError("datasets have different numbers of instances")
+        if other.protected_attribute_names != self.protected_attribute_names:
+            raise ValueError("protected attribute names differ")
+        if not np.array_equal(other.protected_attributes, self.protected_attributes):
+            raise ValueError("protected attribute values differ between datasets")
+        if (
+            other.favorable_label != self.favorable_label
+            or other.unfavorable_label != self.unfavorable_label
+        ):
+            raise ValueError("label conventions differ between datasets")

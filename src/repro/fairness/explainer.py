@@ -1,0 +1,111 @@
+"""Plain-language explanations of fairness metrics.
+
+AIF360 ships a ``MetricTextExplainer``; FairPrep's §7 goal of empowering
+less technical users to run fairness studies needs the same affordance.
+:class:`MetricTextExplainer` turns the numeric metric bundle into short
+sentences with an interpretation of the direction and magnitude.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from .metrics import ClassificationMetric
+
+
+class MetricTextExplainer:
+    """Render a :class:`ClassificationMetric` as human-readable sentences."""
+
+    def __init__(self, metric: ClassificationMetric):
+        self.metric = metric
+
+    # ------------------------------------------------------------------
+    def accuracy(self) -> str:
+        overall = self.metric.accuracy()
+        privileged = self.metric.accuracy(privileged=True)
+        unprivileged = self.metric.accuracy(privileged=False)
+        return (
+            f"Overall accuracy is {overall:.1%}; "
+            f"{privileged:.1%} for the privileged group and "
+            f"{unprivileged:.1%} for the unprivileged group "
+            f"({self._gap_phrase(unprivileged - privileged)})."
+        )
+
+    def disparate_impact(self) -> str:
+        value = self.metric.disparate_impact()
+        if np.isnan(value):
+            return "Disparate impact is undefined (a group received no favorable predictions)."
+        verdict = (
+            "satisfies the four-fifths rule"
+            if 0.8 <= value <= 1.25
+            else "violates the four-fifths rule"
+        )
+        return (
+            f"Disparate impact is {value:.3f}: the unprivileged group receives "
+            f"favorable predictions at {value:.1%} of the privileged group's "
+            f"rate, which {verdict}."
+        )
+
+    def statistical_parity_difference(self) -> str:
+        value = self.metric.statistical_parity_difference()
+        direction = (
+            "more" if value > 0 else "fewer" if value < 0 else "exactly as many"
+        )
+        return (
+            f"Statistical parity difference is {value:+.3f}: the unprivileged "
+            f"group receives {direction} favorable predictions than the "
+            f"privileged group (0 is parity)."
+        )
+
+    def equal_opportunity_difference(self) -> str:
+        value = self.metric.equal_opportunity_difference()
+        return (
+            f"Equal opportunity difference (TPR gap) is {value:+.3f}: "
+            f"qualified members of the unprivileged group are "
+            f"{'less' if value < 0 else 'more or equally'} likely to be "
+            f"recognized than qualified members of the privileged group."
+        )
+
+    def error_rate_disparity(self) -> str:
+        privileged = self.metric.error_rate(privileged=True)
+        unprivileged = self.metric.error_rate(privileged=False)
+        gap = unprivileged - privileged
+        return (
+            f"Error rates: {privileged:.1%} (privileged) vs "
+            f"{unprivileged:.1%} (unprivileged) — "
+            f"{self._gap_phrase(-gap)}."
+        )
+
+    def theil_index(self) -> str:
+        value = self.metric.theil_index()
+        return (
+            f"Theil index of the benefit distribution is {value:.4f} "
+            f"(0 means every individual receives the same benefit)."
+        )
+
+    def explain_all(self) -> List[str]:
+        """Every explanation, in reporting order."""
+        return [
+            self.accuracy(),
+            self.disparate_impact(),
+            self.statistical_parity_difference(),
+            self.equal_opportunity_difference(),
+            self.error_rate_disparity(),
+            self.theil_index(),
+        ]
+
+    def report(self) -> str:
+        return "\n".join(self.explain_all())
+
+    @staticmethod
+    def _gap_phrase(advantage_of_unprivileged: float) -> str:
+        magnitude = abs(advantage_of_unprivileged)
+        if np.isnan(magnitude):
+            return "one group is empty, so the gap is undefined"
+        if magnitude < 0.01:
+            return "essentially no gap between the groups"
+        qualifier = "a small" if magnitude < 0.05 else "a substantial"
+        loser = "privileged" if advantage_of_unprivileged > 0 else "unprivileged"
+        return f"{qualifier} gap of {magnitude:.1%} at the expense of the {loser} group"

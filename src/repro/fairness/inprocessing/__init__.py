@@ -1,0 +1,6 @@
+"""In-processing fairness interventions."""
+
+from .adversarial_debiasing import AdversarialDebiasing
+from .prejudice_remover import PrejudiceRemover
+
+__all__ = ["AdversarialDebiasing", "PrejudiceRemover"]

@@ -1,0 +1,11 @@
+"""Fairness metrics: dataset-level and classification-level."""
+
+from .classification_metric import ClassificationMetric
+from .dataset_metric import BinaryLabelDatasetMetric
+from .entropy import generalized_entropy_index_from_benefits
+
+__all__ = [
+    "BinaryLabelDatasetMetric",
+    "ClassificationMetric",
+    "generalized_entropy_index_from_benefits",
+]

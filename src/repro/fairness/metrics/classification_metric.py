@@ -1,0 +1,314 @@
+"""Classification fairness metrics (the AIF360 ``ClassificationMetric`` analog).
+
+Computes, for the overall population and separately for the privileged and
+unprivileged groups, a 25-entry performance dictionary; and 22 global
+metrics contrasting the two groups — matching the metric inventory the
+FairPrep paper reports ("25 different metrics for the overall train and test
+set ... 22 different global metrics ... between the privileged and the
+unprivileged groups").
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..dataset import BinaryLabelDataset, GroupSpec
+from .dataset_metric import BinaryLabelDatasetMetric
+from .entropy import generalized_entropy_index_from_benefits
+
+
+def _safe_ratio(numerator: float, denominator: float) -> float:
+    if denominator == 0 or np.isnan(denominator):
+        return float("nan")
+    return numerator / denominator
+
+
+class ClassificationMetric(BinaryLabelDatasetMetric):
+    """Fairness and accuracy measures of predictions against ground truth.
+
+    Parameters
+    ----------
+    dataset_true:
+        Ground-truth dataset.
+    dataset_pred:
+        Same rows, with ``labels`` holding the classifier's predictions
+        (and optionally ``scores`` holding probabilities).
+    """
+
+    def __init__(
+        self,
+        dataset_true: BinaryLabelDataset,
+        dataset_pred: BinaryLabelDataset,
+        unprivileged_groups: Optional[GroupSpec] = None,
+        privileged_groups: Optional[GroupSpec] = None,
+    ):
+        dataset_true.validate_compatible(dataset_pred)
+        super().__init__(dataset_true, unprivileged_groups, privileged_groups)
+        self.dataset_pred = dataset_pred
+
+    # ------------------------------------------------------------------
+    # confusion-matrix primitives
+    # ------------------------------------------------------------------
+    def binary_confusion_matrix(self, privileged: Optional[bool] = None) -> Dict[str, float]:
+        """Weighted TP/FP/TN/FN within the requested stratum."""
+        mask = self._mask(privileged)
+        w = self.dataset.instance_weights[mask]
+        true_pos = self.dataset.favorable_mask()[mask]
+        pred_pos = (self.dataset_pred.labels == self.dataset.favorable_label)[mask]
+        return {
+            "TP": float(w[true_pos & pred_pos].sum()),
+            "FP": float(w[~true_pos & pred_pos].sum()),
+            "TN": float(w[~true_pos & ~pred_pos].sum()),
+            "FN": float(w[true_pos & ~pred_pos].sum()),
+        }
+
+    def performance_measures(self, privileged: Optional[bool] = None) -> Dict[str, float]:
+        """The 25-entry per-stratum metric dictionary."""
+        c = self.binary_confusion_matrix(privileged)
+        tp, fp, tn, fn = c["TP"], c["FP"], c["TN"], c["FN"]
+        total = tp + fp + tn + fn
+        actual_pos = tp + fn
+        actual_neg = tn + fp
+        pred_pos = tp + fp
+        pred_neg = tn + fn
+        tpr = _safe_ratio(tp, actual_pos)
+        tnr = _safe_ratio(tn, actual_neg)
+        fpr = _safe_ratio(fp, actual_neg)
+        fnr = _safe_ratio(fn, actual_pos)
+        ppv = _safe_ratio(tp, pred_pos)
+        npv = _safe_ratio(tn, pred_neg)
+        fdr = _safe_ratio(fp, pred_pos)
+        fomr = _safe_ratio(fn, pred_neg)
+        accuracy = _safe_ratio(tp + tn, total)
+        f1 = (
+            float("nan")
+            if np.isnan(ppv) or np.isnan(tpr) or (ppv + tpr) == 0
+            else 2.0 * ppv * tpr / (ppv + tpr)
+        )
+        return {
+            "num_instances": total,
+            "num_positives": actual_pos,
+            "num_negatives": actual_neg,
+            "base_rate": _safe_ratio(actual_pos, total),
+            "num_true_positives": tp,
+            "num_false_positives": fp,
+            "num_true_negatives": tn,
+            "num_false_negatives": fn,
+            "num_pred_positives": pred_pos,
+            "num_pred_negatives": pred_neg,
+            "selection_rate": _safe_ratio(pred_pos, total),
+            "true_positive_rate": tpr,
+            "true_negative_rate": tnr,
+            "false_positive_rate": fpr,
+            "false_negative_rate": fnr,
+            "positive_predictive_value": ppv,
+            "negative_predictive_value": npv,
+            "false_discovery_rate": fdr,
+            "false_omission_rate": fomr,
+            "accuracy": accuracy,
+            "error_rate": float("nan") if np.isnan(accuracy) else 1.0 - accuracy,
+            "balanced_accuracy": 0.5 * (tpr + tnr),
+            "precision": ppv,
+            "recall": tpr,
+            "f1": f1,
+        }
+
+    # named accessors -----------------------------------------------------
+    def accuracy(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["accuracy"]
+
+    def error_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["error_rate"]
+
+    def selection_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["selection_rate"]
+
+    def true_positive_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["true_positive_rate"]
+
+    def false_positive_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["false_positive_rate"]
+
+    def false_negative_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["false_negative_rate"]
+
+    def true_negative_rate(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["true_negative_rate"]
+
+    def positive_predictive_value(self, privileged: Optional[bool] = None) -> float:
+        return self.performance_measures(privileged)["positive_predictive_value"]
+
+    # ------------------------------------------------------------------
+    # group-contrast metrics
+    # ------------------------------------------------------------------
+    def _difference(self, name: str) -> float:
+        return (
+            self.performance_measures(privileged=False)[name]
+            - self.performance_measures(privileged=True)[name]
+        )
+
+    def _ratio(self, name: str) -> float:
+        return _safe_ratio(
+            self.performance_measures(privileged=False)[name],
+            self.performance_measures(privileged=True)[name],
+        )
+
+    def statistical_parity_difference(self) -> float:
+        """Selection-rate difference of the *predictions* (unpriv - priv)."""
+        return self._difference("selection_rate")
+
+    def disparate_impact(self) -> float:
+        """Selection-rate ratio of the predictions (unpriv / priv)."""
+        return self._ratio("selection_rate")
+
+    def equal_opportunity_difference(self) -> float:
+        return self._difference("true_positive_rate")
+
+    def true_positive_rate_difference(self) -> float:
+        return self._difference("true_positive_rate")
+
+    def false_positive_rate_difference(self) -> float:
+        return self._difference("false_positive_rate")
+
+    def false_negative_rate_difference(self) -> float:
+        return self._difference("false_negative_rate")
+
+    def false_positive_rate_ratio(self) -> float:
+        return self._ratio("false_positive_rate")
+
+    def false_negative_rate_ratio(self) -> float:
+        return self._ratio("false_negative_rate")
+
+    def false_discovery_rate_difference(self) -> float:
+        return self._difference("false_discovery_rate")
+
+    def false_omission_rate_difference(self) -> float:
+        return self._difference("false_omission_rate")
+
+    def false_discovery_rate_ratio(self) -> float:
+        return self._ratio("false_discovery_rate")
+
+    def false_omission_rate_ratio(self) -> float:
+        return self._ratio("false_omission_rate")
+
+    def positive_predictive_value_difference(self) -> float:
+        return self._difference("positive_predictive_value")
+
+    def error_rate_difference(self) -> float:
+        return self._difference("error_rate")
+
+    def error_rate_ratio(self) -> float:
+        return self._ratio("error_rate")
+
+    def accuracy_difference(self) -> float:
+        return self._difference("accuracy")
+
+    def average_odds_difference(self) -> float:
+        """Mean of the FPR and TPR differences (Hardt et al. relaxation)."""
+        return 0.5 * (
+            self.false_positive_rate_difference()
+            + self.true_positive_rate_difference()
+        )
+
+    def average_abs_odds_difference(self) -> float:
+        return 0.5 * (
+            abs(self.false_positive_rate_difference())
+            + abs(self.true_positive_rate_difference())
+        )
+
+    # individual / entropy-based metrics -----------------------------------
+    def _benefits(self) -> np.ndarray:
+        """Per-instance benefit b_i = pred - true + 1 (Speicher et al.)."""
+        pred = (self.dataset_pred.labels == self.dataset.favorable_label).astype(
+            np.float64
+        )
+        true = self.dataset.favorable_mask().astype(np.float64)
+        return pred - true + 1.0
+
+    def generalized_entropy_index(self, alpha: float = 2.0) -> float:
+        """Inequality of the benefit distribution across individuals."""
+        return generalized_entropy_index_from_benefits(
+            self._benefits(), self.dataset.instance_weights, alpha
+        )
+
+    def theil_index(self) -> float:
+        return self.generalized_entropy_index(alpha=1.0)
+
+    def coefficient_of_variation(self) -> float:
+        return float(2.0 * np.sqrt(max(self.generalized_entropy_index(alpha=2.0), 0.0)))
+
+    def between_group_generalized_entropy_index(self, alpha: float = 2.0) -> float:
+        """Entropy index after replacing each benefit by its group mean."""
+        benefits = self._benefits()
+        weights = self.dataset.instance_weights
+        grouped = benefits.copy()
+        for privileged in (True, False):
+            mask = self._mask(privileged)
+            total = weights[mask].sum()
+            if total > 0:
+                grouped[mask] = np.average(benefits[mask], weights=weights[mask])
+        return generalized_entropy_index_from_benefits(grouped, weights, alpha)
+
+    def between_group_theil_index(self) -> float:
+        return self.between_group_generalized_entropy_index(alpha=1.0)
+
+    def between_group_coefficient_of_variation(self) -> float:
+        return float(
+            2.0
+            * np.sqrt(max(self.between_group_generalized_entropy_index(alpha=2.0), 0.0))
+        )
+
+    # ------------------------------------------------------------------
+    # bundles
+    # ------------------------------------------------------------------
+    def group_metrics(self) -> Dict[str, float]:
+        """The 22-entry global (between-group) metric dictionary."""
+        return {
+            "statistical_parity_difference": self.statistical_parity_difference(),
+            "disparate_impact": self.disparate_impact(),
+            "equal_opportunity_difference": self.equal_opportunity_difference(),
+            "average_odds_difference": self.average_odds_difference(),
+            "average_abs_odds_difference": self.average_abs_odds_difference(),
+            "true_positive_rate_difference": self.true_positive_rate_difference(),
+            "false_positive_rate_difference": self.false_positive_rate_difference(),
+            "false_negative_rate_difference": self.false_negative_rate_difference(),
+            "false_positive_rate_ratio": self.false_positive_rate_ratio(),
+            "false_negative_rate_ratio": self.false_negative_rate_ratio(),
+            "false_discovery_rate_difference": self.false_discovery_rate_difference(),
+            "false_omission_rate_difference": self.false_omission_rate_difference(),
+            "false_discovery_rate_ratio": self.false_discovery_rate_ratio(),
+            "false_omission_rate_ratio": self.false_omission_rate_ratio(),
+            "positive_predictive_value_difference": self.positive_predictive_value_difference(),
+            "error_rate_difference": self.error_rate_difference(),
+            "error_rate_ratio": self.error_rate_ratio(),
+            "accuracy_difference": self.accuracy_difference(),
+            "generalized_entropy_index": self.generalized_entropy_index(),
+            "theil_index": self.theil_index(),
+            "coefficient_of_variation": self.coefficient_of_variation(),
+            "between_group_theil_index": self.between_group_theil_index(),
+        }
+
+    def all_metrics(self) -> Dict[str, float]:
+        """Flat bundle: per-stratum measures plus the group contrasts.
+
+        This is what an experiment run writes to disk: 25 metrics × 3 strata
+        + 22 group metrics.
+        """
+        out: Dict[str, float] = {}
+        for stratum, privileged in (
+            ("overall", None),
+            ("privileged", True),
+            ("unprivileged", False),
+        ):
+            if privileged is not None and (
+                self.privileged_groups is None or self.unprivileged_groups is None
+            ):
+                continue
+            for name, value in self.performance_measures(privileged).items():
+                out[f"{stratum}__{name}"] = value
+        if self.privileged_groups is not None and self.unprivileged_groups is not None:
+            for name, value in self.group_metrics().items():
+                out[f"group__{name}"] = value
+        return out

@@ -1,0 +1,110 @@
+"""Metrics over a single labeled dataset (before any classifier runs).
+
+Mirrors AIF360's ``BinaryLabelDatasetMetric``: base rates and their
+privileged/unprivileged disparities, plus the individual-fairness
+*consistency* score of Zemel et al.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ...learn.neighbors import nearest_neighbor_indices
+from ..dataset import BinaryLabelDataset, GroupSpec
+
+
+class BinaryLabelDatasetMetric:
+    """Dataset-level fairness measures between two groups."""
+
+    def __init__(
+        self,
+        dataset: BinaryLabelDataset,
+        unprivileged_groups: Optional[GroupSpec] = None,
+        privileged_groups: Optional[GroupSpec] = None,
+    ):
+        self.dataset = dataset
+        self.unprivileged_groups = unprivileged_groups
+        self.privileged_groups = privileged_groups
+        if unprivileged_groups is not None and privileged_groups is not None:
+            overlap = dataset.group_mask(unprivileged_groups) & dataset.group_mask(
+                privileged_groups
+            )
+            if overlap.any():
+                raise ValueError(
+                    "privileged and unprivileged groups overlap on "
+                    f"{int(overlap.sum())} instances"
+                )
+
+    # ------------------------------------------------------------------
+    def _mask(self, privileged: Optional[bool]) -> np.ndarray:
+        if privileged is None:
+            return np.ones(self.dataset.num_instances, dtype=bool)
+        groups = self.privileged_groups if privileged else self.unprivileged_groups
+        if groups is None:
+            raise ValueError(
+                "privileged/unprivileged groups were not provided at construction"
+            )
+        return self.dataset.group_mask(groups)
+
+    def num_instances(self, privileged: Optional[bool] = None) -> float:
+        """Total instance weight in the requested stratum."""
+        mask = self._mask(privileged)
+        return float(self.dataset.instance_weights[mask].sum())
+
+    def num_positives(self, privileged: Optional[bool] = None) -> float:
+        mask = self._mask(privileged) & self.dataset.favorable_mask()
+        return float(self.dataset.instance_weights[mask].sum())
+
+    def num_negatives(self, privileged: Optional[bool] = None) -> float:
+        mask = self._mask(privileged) & ~self.dataset.favorable_mask()
+        return float(self.dataset.instance_weights[mask].sum())
+
+    def base_rate(self, privileged: Optional[bool] = None) -> float:
+        """P(label = favorable) in the requested stratum (weighted)."""
+        total = self.num_instances(privileged)
+        if total == 0:
+            return float("nan")
+        return self.num_positives(privileged) / total
+
+    def disparate_impact(self) -> float:
+        """base_rate(unprivileged) / base_rate(privileged); 1.0 is parity."""
+        privileged_rate = self.base_rate(privileged=True)
+        if privileged_rate == 0 or np.isnan(privileged_rate):
+            return float("nan")
+        return self.base_rate(privileged=False) / privileged_rate
+
+    def statistical_parity_difference(self) -> float:
+        """base_rate(unprivileged) - base_rate(privileged); 0.0 is parity."""
+        return self.base_rate(privileged=False) - self.base_rate(privileged=True)
+
+    def consistency(self, n_neighbors: int = 5) -> float:
+        """Zemel et al. individual fairness: label agreement with neighbours.
+
+        ``1 - mean_i |y_i - mean(y of the k nearest neighbours of i)|``
+        """
+        X = self.dataset.features
+        y = self.dataset.favorable_mask().astype(np.float64)
+        neighbors = nearest_neighbor_indices(X, X, n_neighbors)
+        neighbor_means = y[neighbors].mean(axis=1)
+        return float(1.0 - np.abs(y - neighbor_means).mean())
+
+    def smoothed_empirical_differential_fairness(self, concentration: float = 1.0) -> float:
+        """Foulds et al. differential-fairness bound over the two groups."""
+        counts = []
+        for privileged in (True, False):
+            mask = self._mask(privileged)
+            weights = self.dataset.instance_weights[mask]
+            positives = self.dataset.favorable_mask()[mask]
+            total = weights.sum()
+            pos = weights[positives].sum()
+            # Dirichlet smoothing with two outcomes
+            rate = (pos + concentration / 2.0) / (total + concentration)
+            counts.append(rate)
+        p_priv, p_unpriv = counts
+        odds = [
+            abs(np.log(p_unpriv) - np.log(p_priv)),
+            abs(np.log(1.0 - p_unpriv) - np.log(1.0 - p_priv)),
+        ]
+        return float(max(odds))

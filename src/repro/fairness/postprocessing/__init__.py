@@ -1,0 +1,11 @@
+"""Post-processing fairness interventions."""
+
+from .calibrated_eq_odds import CalibratedEqOddsPostprocessing
+from .eq_odds import EqOddsPostprocessing
+from .reject_option import RejectOptionClassification
+
+__all__ = [
+    "CalibratedEqOddsPostprocessing",
+    "EqOddsPostprocessing",
+    "RejectOptionClassification",
+]

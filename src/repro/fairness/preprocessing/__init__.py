@@ -1,0 +1,6 @@
+"""Pre-processing fairness interventions."""
+
+from .disparate_impact_remover import DisparateImpactRemover
+from .reweighing import Reweighing
+
+__all__ = ["DisparateImpactRemover", "Reweighing"]

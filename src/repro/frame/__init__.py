@@ -1,0 +1,40 @@
+"""Columnar DataFrame substrate (the pandas replacement).
+
+Public API::
+
+    from repro.frame import Column, DataFrame, concat_rows
+    from repro.frame import read_csv, write_csv
+    from repro.frame import value_counts, crosstab, describe
+"""
+
+from .column import CATEGORICAL, NUMERIC, Column, concat_columns
+from .dataframe import DataFrame, concat_rows, train_validation_test_masks
+from .io import read_csv, write_csv
+from .ops import (
+    MISSING_LABEL,
+    correlation_matrix,
+    crosstab,
+    describe,
+    group_missing_rates,
+    groupby_aggregate,
+    value_counts,
+)
+
+__all__ = [
+    "CATEGORICAL",
+    "NUMERIC",
+    "Column",
+    "DataFrame",
+    "MISSING_LABEL",
+    "concat_columns",
+    "concat_rows",
+    "correlation_matrix",
+    "crosstab",
+    "describe",
+    "group_missing_rates",
+    "groupby_aggregate",
+    "read_csv",
+    "train_validation_test_masks",
+    "value_counts",
+    "write_csv",
+]

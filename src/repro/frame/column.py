@@ -1,0 +1,276 @@
+"""Typed columns for the :mod:`repro.frame` DataFrame substrate.
+
+FairPrep's lifecycle needs only two column kinds:
+
+* ``numeric`` -- stored as ``float64``, with ``NaN`` marking missing values.
+* ``categorical`` -- stored as ``object`` (Python strings), with ``None``
+  marking missing values.
+
+This mirrors the pandas semantics the original FairPrep relied on, without
+pulling in pandas itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+NUMERIC = "numeric"
+CATEGORICAL = "categorical"
+
+_KINDS = (NUMERIC, CATEGORICAL)
+
+
+class Column:
+    """A single named, typed column of values with missing-value support."""
+
+    __slots__ = ("name", "kind", "values")
+
+    def __init__(self, name: str, values: np.ndarray, kind: str):
+        if kind not in _KINDS:
+            raise ValueError(f"unknown column kind {kind!r}; expected one of {_KINDS}")
+        if not isinstance(name, str) or not name:
+            raise ValueError("column name must be a non-empty string")
+        self.name = name
+        self.kind = kind
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def numeric(name: str, values: Iterable) -> "Column":
+        """Build a numeric column; ``None`` entries become ``NaN``."""
+        arr = np.asarray(
+            [np.nan if v is None else float(v) for v in values], dtype=np.float64
+        )
+        return Column(name, arr, NUMERIC)
+
+    @staticmethod
+    def categorical(name: str, values: Iterable) -> "Column":
+        """Build a categorical column; missing entries stay ``None``."""
+        cleaned = []
+        for v in values:
+            if v is None:
+                cleaned.append(None)
+            elif isinstance(v, float) and np.isnan(v):
+                cleaned.append(None)
+            else:
+                cleaned.append(str(v))
+        arr = np.empty(len(cleaned), dtype=object)
+        arr[:] = cleaned
+        return Column(name, arr, CATEGORICAL)
+
+    @staticmethod
+    def from_values(name: str, values, kind: Optional[str] = None) -> "Column":
+        """Build a column, inferring the kind when not given.
+
+        Inference: if every non-missing value is a number (or numeric string
+        is *not* considered numeric -- strings stay categorical), the column
+        is numeric; otherwise categorical.
+        """
+        if isinstance(values, Column):
+            return Column(name, values.values.copy(), values.kind)
+        if kind is not None:
+            if kind == NUMERIC:
+                return Column.numeric(name, values)
+            return Column.categorical(name, values)
+        values = list(values) if not isinstance(values, np.ndarray) else values
+        if isinstance(values, np.ndarray) and values.dtype.kind in "fiub":
+            return Column.numeric(name, values.astype(np.float64))
+        inferred_numeric = True
+        for v in values:
+            if v is None:
+                continue
+            if isinstance(v, bool):
+                continue
+            if isinstance(v, (int, float, np.integer, np.floating)):
+                if isinstance(v, float) and np.isnan(v):
+                    continue
+                continue
+            inferred_numeric = False
+            break
+        if inferred_numeric:
+            return Column.numeric(name, [None if _is_missing_scalar(v) else v for v in values])
+        return Column.categorical(name, values)
+
+    # ------------------------------------------------------------------
+    # basics
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Column({self.name!r}, kind={self.kind}, n={len(self)})"
+
+    def copy(self) -> "Column":
+        return Column(self.name, self.values.copy(), self.kind)
+
+    def rename(self, name: str) -> "Column":
+        return Column(name, self.values, self.kind)
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind == NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind == CATEGORICAL
+
+    # ------------------------------------------------------------------
+    # missing values
+    # ------------------------------------------------------------------
+    def missing_mask(self) -> np.ndarray:
+        """Boolean array that is True where the value is missing."""
+        if self.is_numeric:
+            return np.isnan(self.values)
+        return np.asarray([v is None for v in self.values], dtype=bool)
+
+    def num_missing(self) -> int:
+        return int(self.missing_mask().sum())
+
+    def has_missing(self) -> bool:
+        return bool(self.missing_mask().any())
+
+    def fill_missing(self, fill_value) -> "Column":
+        """Return a copy with missing entries replaced by ``fill_value``."""
+        mask = self.missing_mask()
+        out = self.values.copy()
+        if self.is_numeric:
+            out[mask] = float(fill_value)
+        else:
+            out[mask] = str(fill_value)
+        return Column(self.name, out, self.kind)
+
+    # ------------------------------------------------------------------
+    # selection
+    # ------------------------------------------------------------------
+    def take(self, indices: np.ndarray) -> "Column":
+        return Column(self.name, self.values[np.asarray(indices)], self.kind)
+
+    def mask(self, boolean_mask: np.ndarray) -> "Column":
+        boolean_mask = np.asarray(boolean_mask, dtype=bool)
+        if len(boolean_mask) != len(self):
+            raise ValueError(
+                f"mask length {len(boolean_mask)} != column length {len(self)}"
+            )
+        return Column(self.name, self.values[boolean_mask], self.kind)
+
+    def set_where(self, boolean_mask: np.ndarray, new_values) -> "Column":
+        """Return a copy where positions selected by the mask are replaced."""
+        boolean_mask = np.asarray(boolean_mask, dtype=bool)
+        out = self.values.copy()
+        if self.is_numeric:
+            out[boolean_mask] = np.asarray(new_values, dtype=np.float64)
+        else:
+            replacements = new_values
+            if np.isscalar(replacements) or isinstance(replacements, str):
+                out[boolean_mask] = replacements
+            else:
+                replacements = list(replacements)
+                out[boolean_mask] = np.asarray(
+                    [None if _is_missing_scalar(v) else str(v) for v in replacements],
+                    dtype=object,
+                )
+        return Column(self.name, out, self.kind)
+
+    # ------------------------------------------------------------------
+    # summaries
+    # ------------------------------------------------------------------
+    def unique(self) -> List:
+        """Distinct non-missing values, in first-seen order."""
+        seen = {}
+        for v in self.values:
+            if _is_missing_scalar(v):
+                continue
+            if v not in seen:
+                seen[v] = None
+        return list(seen.keys())
+
+    def value_counts(self) -> dict:
+        """Counts of non-missing values, ordered by decreasing count."""
+        counts: dict = {}
+        for v in self.values:
+            if _is_missing_scalar(v):
+                continue
+            counts[v] = counts.get(v, 0) + 1
+        return dict(sorted(counts.items(), key=lambda kv: (-kv[1], str(kv[0]))))
+
+    def mode(self):
+        """Most frequent non-missing value; None if the column is all-missing."""
+        counts = self.value_counts()
+        if not counts:
+            return None
+        return next(iter(counts))
+
+    def mean(self) -> float:
+        if not self.is_numeric:
+            raise TypeError(f"mean() on categorical column {self.name!r}")
+        present = self.values[~np.isnan(self.values)]
+        if present.size == 0:
+            return float("nan")
+        return float(present.mean())
+
+    def std(self) -> float:
+        if not self.is_numeric:
+            raise TypeError(f"std() on categorical column {self.name!r}")
+        present = self.values[~np.isnan(self.values)]
+        if present.size == 0:
+            return float("nan")
+        return float(present.std())
+
+    def min(self) -> float:
+        if not self.is_numeric:
+            raise TypeError(f"min() on categorical column {self.name!r}")
+        present = self.values[~np.isnan(self.values)]
+        if present.size == 0:
+            return float("nan")
+        return float(present.min())
+
+    def max(self) -> float:
+        if not self.is_numeric:
+            raise TypeError(f"max() on categorical column {self.name!r}")
+        present = self.values[~np.isnan(self.values)]
+        if present.size == 0:
+            return float("nan")
+        return float(present.max())
+
+    def equals(self, other: "Column") -> bool:
+        if not isinstance(other, Column):
+            return False
+        if self.kind != other.kind or len(self) != len(other):
+            return False
+        if self.is_numeric:
+            a, b = self.values, other.values
+            both_nan = np.isnan(a) & np.isnan(b)
+            return bool(np.all(both_nan | (a == b)))
+        return all(x == y for x, y in zip(self.values, other.values))
+
+
+def _is_missing_scalar(v) -> bool:
+    """True for the two missing sentinels: None and float NaN."""
+    if v is None:
+        return True
+    if isinstance(v, (float, np.floating)) and np.isnan(v):
+        return True
+    return False
+
+
+def concat_columns(columns: Sequence[Column]) -> Column:
+    """Stack several same-kind, same-name columns vertically."""
+    if not columns:
+        raise ValueError("need at least one column to concatenate")
+    first = columns[0]
+    for col in columns[1:]:
+        if col.kind != first.kind:
+            raise ValueError(
+                f"cannot concat kinds {first.kind!r} and {col.kind!r} "
+                f"for column {first.name!r}"
+            )
+    values = np.concatenate([c.values for c in columns])
+    if first.is_categorical:
+        out = np.empty(len(values), dtype=object)
+        out[:] = values
+        values = out
+    return Column(first.name, values, first.kind)

@@ -1,0 +1,94 @@
+"""CSV round-trip for :class:`repro.frame.DataFrame`.
+
+Experiments write their per-run metrics as CSV/JSON; the reader exists so
+that analysis code (and users with their own data) can load frames without
+pandas. Missing values serialize as empty fields.
+"""
+
+from __future__ import annotations
+
+import csv
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from .column import CATEGORICAL, NUMERIC, Column
+from .dataframe import DataFrame
+
+
+def write_csv(frame: DataFrame, path: str) -> None:
+    """Write a frame to CSV with a header row; missing values become ''."""
+    names = frame.columns
+    arrays = [frame[n] for n in names]
+    kinds = frame.kinds()
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(frame.num_rows):
+            row = []
+            for name, arr in zip(names, arrays):
+                v = arr[i]
+                if kinds[name] == NUMERIC:
+                    row.append("" if np.isnan(v) else repr(float(v)))
+                else:
+                    row.append("" if v is None else str(v))
+            writer.writerow(row)
+
+
+def read_csv(
+    path: str,
+    numeric_columns: Optional[Sequence[str]] = None,
+    kinds: Optional[Dict[str, str]] = None,
+) -> DataFrame:
+    """Read a CSV into a frame.
+
+    Column kinds are resolved in priority order: explicit ``kinds``, then
+    membership in ``numeric_columns``, then inference (a column whose
+    non-empty fields all parse as floats is numeric).
+    """
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV") from None
+        raw_rows = [row for row in reader if row]
+    if not raw_rows:
+        raise ValueError(f"{path}: CSV has a header but no data rows")
+    n_cols = len(header)
+    for i, row in enumerate(raw_rows):
+        if len(row) != n_cols:
+            raise ValueError(
+                f"{path}: row {i + 2} has {len(row)} fields, expected {n_cols}"
+            )
+    kinds = dict(kinds or {})
+    if numeric_columns:
+        for name in numeric_columns:
+            kinds.setdefault(name, NUMERIC)
+
+    columns = []
+    for j, name in enumerate(header):
+        raw = [row[j] for row in raw_rows]
+        kind = kinds.get(name)
+        if kind is None:
+            kind = NUMERIC if _all_parse_as_float(raw) else CATEGORICAL
+        if kind == NUMERIC:
+            values = [None if field == "" else float(field) for field in raw]
+            columns.append(Column.numeric(name, values))
+        else:
+            values = [None if field == "" else field for field in raw]
+            columns.append(Column.categorical(name, values))
+    return DataFrame(columns)
+
+
+def _all_parse_as_float(fields) -> bool:
+    saw_value = False
+    for field in fields:
+        if field == "":
+            continue
+        saw_value = True
+        try:
+            float(field)
+        except ValueError:
+            return False
+    return saw_value

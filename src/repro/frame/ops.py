@@ -1,0 +1,140 @@
+"""Aggregation helpers over :class:`repro.frame.DataFrame`.
+
+These cover the exploratory operations the FairPrep paper performs when
+auditing datasets (Section 5.3): value distributions, cross tabulations,
+group-conditional statistics, and column summaries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .column import _is_missing_scalar
+from .dataframe import DataFrame
+
+MISSING_LABEL = "<missing>"
+
+
+def value_counts(
+    frame: DataFrame, column: str, normalize: bool = False, include_missing: bool = False
+) -> Dict:
+    """Value distribution of a column, optionally normalized to fractions."""
+    col = frame.col(column)
+    counts = dict(col.value_counts())
+    if include_missing:
+        n_missing = col.num_missing()
+        if n_missing:
+            counts[MISSING_LABEL] = n_missing
+    if normalize:
+        total = sum(counts.values())
+        if total:
+            counts = {k: v / total for k, v in counts.items()}
+    return counts
+
+
+def crosstab(frame: DataFrame, rows: str, cols: str) -> Dict:
+    """Nested dict ``{row_value: {col_value: count}}`` over two columns.
+
+    Missing values are bucketed under :data:`MISSING_LABEL` so that
+    missingness structure (e.g. native-country by race in adult) is visible.
+    """
+    row_values = frame[rows]
+    col_values = frame[cols]
+    table: Dict = {}
+    for rv, cv in zip(row_values, col_values):
+        rv = MISSING_LABEL if _is_missing_scalar(rv) else rv
+        cv = MISSING_LABEL if _is_missing_scalar(cv) else cv
+        table.setdefault(rv, {})
+        table[rv][cv] = table[rv].get(cv, 0) + 1
+    return table
+
+
+def groupby_aggregate(
+    frame: DataFrame,
+    by: str,
+    column: str,
+    aggregate: Callable[[np.ndarray], float],
+) -> Dict:
+    """Apply ``aggregate`` to ``column`` within each group of ``by``."""
+    groups: Dict = {}
+    by_values = frame[by]
+    target = frame.col(column)
+    for value in sorted({v for v in by_values if not _is_missing_scalar(v)}, key=str):
+        mask = np.asarray([v == value for v in by_values], dtype=bool)
+        sub = target.mask(mask)
+        if sub.is_numeric:
+            data = sub.values[~np.isnan(sub.values)]
+        else:
+            data = np.asarray([v for v in sub.values if v is not None], dtype=object)
+        groups[value] = aggregate(data)
+    return groups
+
+
+def group_missing_rates(frame: DataFrame, by: str, column: str) -> Dict:
+    """Fraction of missing values of ``column`` within each ``by`` group.
+
+    This is the §2.4 audit: the adult ``native-country`` attribute is missing
+    roughly four times more often for non-white than for white persons.
+    """
+    rates: Dict = {}
+    by_values = frame[by]
+    missing = frame.col(column).missing_mask()
+    for value in sorted({v for v in by_values if not _is_missing_scalar(v)}, key=str):
+        mask = np.asarray([v == value for v in by_values], dtype=bool)
+        total = int(mask.sum())
+        rates[value] = float(missing[mask].sum()) / total if total else float("nan")
+    return rates
+
+
+def describe(frame: DataFrame, columns: Optional[Sequence[str]] = None) -> Dict:
+    """Per-column summary: count/missing plus kind-appropriate statistics."""
+    names = list(columns) if columns is not None else frame.columns
+    summary: Dict = {}
+    for name in names:
+        col = frame.col(name)
+        info = {
+            "kind": col.kind,
+            "count": len(col) - col.num_missing(),
+            "missing": col.num_missing(),
+        }
+        if col.is_numeric:
+            info.update(
+                mean=col.mean(), std=col.std(), min=col.min(), max=col.max()
+            )
+        else:
+            counts = col.value_counts()
+            info.update(
+                distinct=len(counts),
+                mode=col.mode(),
+                mode_count=next(iter(counts.values())) if counts else 0,
+            )
+        summary[name] = info
+    return summary
+
+
+def correlation_matrix(frame: DataFrame, columns: Optional[Sequence[str]] = None) -> tuple:
+    """Pearson correlations between numeric columns (pairwise complete).
+
+    Returns ``(names, matrix)``.
+    """
+    names = list(columns) if columns is not None else frame.numeric_columns()
+    k = len(names)
+    matrix = np.eye(k)
+    arrays = [frame[n] for n in names]
+    for i in range(k):
+        for j in range(i + 1, k):
+            a, b = arrays[i], arrays[j]
+            ok = ~(np.isnan(a) | np.isnan(b))
+            if ok.sum() < 2:
+                corr = float("nan")
+            else:
+                x, y = a[ok], b[ok]
+                sx, sy = x.std(), y.std()
+                if sx == 0 or sy == 0:
+                    corr = float("nan")
+                else:
+                    corr = float(np.corrcoef(x, y)[0, 1])
+            matrix[i, j] = matrix[j, i] = corr
+    return names, matrix

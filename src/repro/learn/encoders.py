@@ -1,0 +1,169 @@
+"""Alternative categorical encoders (the paper's §7 "embeddings" extension).
+
+All encoders share the :class:`~repro.learn.preprocessing.OneHotEncoder`
+interface — ``fit`` on a list of per-feature object arrays from the
+*training* split, ``transform`` on any split — so the lifecycle's
+featurizer can swap them in without changes:
+
+* :class:`FrequencyEncoder` — each category becomes its training-split
+  relative frequency (one dimension per feature);
+* :class:`TargetEncoder` — each category becomes the smoothed training
+  mean of the binary label (needs ``y`` at fit; leak-free by construction
+  because statistics come from the training split only);
+* :class:`SVDEmbeddingEncoder` — dense low-rank embedding of the one-hot
+  matrix via truncated SVD fit on the training split.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .base import BaseEstimator, TransformerMixin
+from .preprocessing import OneHotEncoder, _as_object_columns
+
+
+class FrequencyEncoder(BaseEstimator, TransformerMixin):
+    """Encode each categorical value by its training-set frequency."""
+
+    def fit(self, X, y=None) -> "FrequencyEncoder":
+        columns = _as_object_columns(X)
+        self.frequencies_: List[dict] = []
+        for values in columns:
+            keys = [self._key(v) for v in values]
+            total = len(keys)
+            counts: dict = {}
+            for key in keys:
+                counts[key] = counts.get(key, 0) + 1
+            self.frequencies_.append({k: c / total for k, c in counts.items()})
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("frequencies_")
+        columns = _as_object_columns(X)
+        if len(columns) != len(self.frequencies_):
+            raise ValueError(
+                f"X has {len(columns)} features, encoder was fit on "
+                f"{len(self.frequencies_)}"
+            )
+        blocks = []
+        for values, table in zip(columns, self.frequencies_):
+            # unseen categories read as frequency 0 (they were never observed)
+            blocks.append(
+                np.asarray(
+                    [table.get(self._key(v), 0.0) for v in values], dtype=np.float64
+                ).reshape(-1, 1)
+            )
+        return np.hstack(blocks)
+
+    def feature_names(self, input_names: Optional[Sequence[str]] = None) -> List[str]:
+        self._check_fitted("frequencies_")
+        if input_names is None:
+            input_names = [f"x{i}" for i in range(len(self.frequencies_))]
+        return [f"{name}:frequency" for name in input_names]
+
+    @staticmethod
+    def _key(value) -> str:
+        if value is None or (isinstance(value, float) and np.isnan(value)):
+            return "<missing>"
+        return str(value)
+
+
+class TargetEncoder(BaseEstimator, TransformerMixin):
+    """Encode each category by the smoothed training mean of a binary target.
+
+    ``smoothing`` pseudo-counts pull rare categories toward the global
+    rate, the standard remedy against overfitting high-cardinality columns.
+    """
+
+    def __init__(self, smoothing: float = 10.0):
+        if smoothing < 0:
+            raise ValueError("smoothing must be non-negative")
+        self.smoothing = smoothing
+
+    def fit(self, X, y=None) -> "TargetEncoder":
+        if y is None:
+            raise ValueError("TargetEncoder requires the training labels at fit")
+        y = np.asarray(y, dtype=np.float64).ravel()
+        columns = _as_object_columns(X)
+        for values in columns:
+            if len(values) != len(y):
+                raise ValueError("label length does not match feature rows")
+        self.global_rate_ = float(y.mean())
+        self.tables_: List[dict] = []
+        for values in columns:
+            sums: dict = {}
+            counts: dict = {}
+            for value, label in zip(values, y):
+                key = FrequencyEncoder._key(value)
+                sums[key] = sums.get(key, 0.0) + label
+                counts[key] = counts.get(key, 0) + 1
+            table = {
+                key: (sums[key] + self.smoothing * self.global_rate_)
+                / (counts[key] + self.smoothing)
+                for key in sums
+            }
+            self.tables_.append(table)
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("tables_")
+        columns = _as_object_columns(X)
+        if len(columns) != len(self.tables_):
+            raise ValueError(
+                f"X has {len(columns)} features, encoder was fit on {len(self.tables_)}"
+            )
+        blocks = []
+        for values, table in zip(columns, self.tables_):
+            blocks.append(
+                np.asarray(
+                    [
+                        table.get(FrequencyEncoder._key(v), self.global_rate_)
+                        for v in values
+                    ],
+                    dtype=np.float64,
+                ).reshape(-1, 1)
+            )
+        return np.hstack(blocks)
+
+    def feature_names(self, input_names: Optional[Sequence[str]] = None) -> List[str]:
+        self._check_fitted("tables_")
+        if input_names is None:
+            input_names = [f"x{i}" for i in range(len(self.tables_))]
+        return [f"{name}:target_rate" for name in input_names]
+
+
+class SVDEmbeddingEncoder(BaseEstimator, TransformerMixin):
+    """Low-rank dense embedding of the one-hot representation.
+
+    Fits a one-hot encoding on the training split, centers it, and keeps
+    the top ``n_components`` right singular vectors; transform projects any
+    split into that space. This is the simplest "embedding of the input
+    data" the paper's future-work section sketches.
+    """
+
+    def __init__(self, n_components: int = 8):
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = n_components
+
+    def fit(self, X, y=None) -> "SVDEmbeddingEncoder":
+        self._onehot = OneHotEncoder().fit(X)
+        encoded = self._onehot.transform(X)
+        self.mean_ = encoded.mean(axis=0)
+        centered = encoded - self.mean_
+        _, singular_values, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        self.singular_values_ = singular_values[:k]
+        return self
+
+    def transform(self, X) -> np.ndarray:
+        self._check_fitted("components_")
+        encoded = self._onehot.transform(X)
+        return (encoded - self.mean_) @ self.components_.T
+
+    def feature_names(self, input_names: Optional[Sequence[str]] = None) -> List[str]:
+        self._check_fitted("components_")
+        return [f"embedding_{i}" for i in range(self.components_.shape[0])]

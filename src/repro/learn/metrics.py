@@ -1,0 +1,151 @@
+"""Accuracy-oriented classification metrics.
+
+These are the "company standard accuracy metrics" side of the paper; the
+fairness-specific metrics live in :mod:`repro.fairness.metrics` and build on
+the same confusion-matrix primitives.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def _weights(sample_weight, n: int) -> np.ndarray:
+    if sample_weight is None:
+        return np.ones(n, dtype=np.float64)
+    sample_weight = np.asarray(sample_weight, dtype=np.float64)
+    if len(sample_weight) != n:
+        raise ValueError("sample_weight length mismatch")
+    return sample_weight
+
+
+def accuracy_score(y_true, y_pred, sample_weight=None) -> float:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have the same shape")
+    w = _weights(sample_weight, len(y_true))
+    if w.sum() == 0:
+        return float("nan")
+    return float(np.average((y_true == y_pred).astype(np.float64), weights=w))
+
+
+def confusion_matrix(
+    y_true, y_pred, labels: Optional[Sequence] = None, sample_weight=None
+) -> np.ndarray:
+    """Weighted confusion matrix; rows = true label, columns = prediction."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    labels = list(labels)
+    index = {label: i for i, label in enumerate(labels)}
+    w = _weights(sample_weight, len(y_true))
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.float64)
+    for t, p, weight in zip(y_true, y_pred, w):
+        if t not in index or p not in index:
+            raise ValueError(f"label outside provided label set: {t!r}/{p!r}")
+        matrix[index[t], index[p]] += weight
+    return matrix
+
+
+def binary_counts(y_true, y_pred, positive_label, sample_weight=None) -> dict:
+    """Weighted TP/FP/TN/FN for a designated positive label."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    w = _weights(sample_weight, len(y_true))
+    true_pos = y_true == positive_label
+    pred_pos = y_pred == positive_label
+    return {
+        "TP": float(w[true_pos & pred_pos].sum()),
+        "FP": float(w[~true_pos & pred_pos].sum()),
+        "TN": float(w[~true_pos & ~pred_pos].sum()),
+        "FN": float(w[true_pos & ~pred_pos].sum()),
+    }
+
+
+def _safe_divide(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator > 0 else float("nan")
+
+
+def precision_score(y_true, y_pred, positive_label=1, sample_weight=None) -> float:
+    c = binary_counts(y_true, y_pred, positive_label, sample_weight)
+    return _safe_divide(c["TP"], c["TP"] + c["FP"])
+
+
+def recall_score(y_true, y_pred, positive_label=1, sample_weight=None) -> float:
+    c = binary_counts(y_true, y_pred, positive_label, sample_weight)
+    return _safe_divide(c["TP"], c["TP"] + c["FN"])
+
+
+def f1_score(y_true, y_pred, positive_label=1, sample_weight=None) -> float:
+    p = precision_score(y_true, y_pred, positive_label, sample_weight)
+    r = recall_score(y_true, y_pred, positive_label, sample_weight)
+    if np.isnan(p) or np.isnan(r) or (p + r) == 0:
+        return float("nan")
+    return 2.0 * p * r / (p + r)
+
+
+def balanced_accuracy_score(y_true, y_pred, positive_label=1, sample_weight=None) -> float:
+    c = binary_counts(y_true, y_pred, positive_label, sample_weight)
+    tpr = _safe_divide(c["TP"], c["TP"] + c["FN"])
+    tnr = _safe_divide(c["TN"], c["TN"] + c["FP"])
+    return 0.5 * (tpr + tnr)
+
+
+def roc_auc_score(y_true, scores, positive_label=1, sample_weight=None) -> float:
+    """Area under the ROC curve via the weighted U statistic (ties averaged)."""
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=np.float64)
+    w = _weights(sample_weight, len(y_true))
+    positive = y_true == positive_label
+    if w[positive].sum() == 0 or w[~positive].sum() == 0:
+        return float("nan")
+    order = np.argsort(scores, kind="mergesort")
+    return _weighted_auc(scores[order], positive[order], w[order])
+
+
+def _weighted_auc(sorted_scores, sorted_pos, sorted_w) -> float:
+    """U-statistic AUC on score-sorted data with average tie credit."""
+    w_pos_total = sorted_w[sorted_pos].sum()
+    w_neg_total = sorted_w[~sorted_pos].sum()
+    u = 0.0
+    neg_below = 0.0
+    i = 0
+    n = len(sorted_scores)
+    while i < n:
+        j = i
+        while j + 1 < n and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        block = slice(i, j + 1)
+        block_pos_w = sorted_w[block][sorted_pos[block]].sum()
+        block_neg_w = sorted_w[block][~sorted_pos[block]].sum()
+        u += block_pos_w * (neg_below + block_neg_w / 2.0)
+        neg_below += block_neg_w
+        i = j + 1
+    return float(u / (w_pos_total * w_neg_total))
+
+
+def log_loss(y_true, proba, positive_label=1, sample_weight=None, eps=1e-15) -> float:
+    """Weighted binary cross-entropy on positive-class probabilities."""
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim == 2:
+        proba = proba[:, 1]
+    proba = np.clip(proba, eps, 1.0 - eps)
+    w = _weights(sample_weight, len(y_true))
+    t = (y_true == positive_label).astype(np.float64)
+    losses = -(t * np.log(proba) + (1.0 - t) * np.log(1.0 - proba))
+    return float(np.average(losses, weights=w))
+
+
+def brier_score(y_true, proba, positive_label=1, sample_weight=None) -> float:
+    y_true = np.asarray(y_true)
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim == 2:
+        proba = proba[:, 1]
+    w = _weights(sample_weight, len(y_true))
+    t = (y_true == positive_label).astype(np.float64)
+    return float(np.average((proba - t) ** 2, weights=w))

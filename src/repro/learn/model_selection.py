@@ -1,0 +1,243 @@
+"""Seeded data splitting, cross-validation and grid search.
+
+These components implement the best practices the paper enforces
+(Sections 2.1, 2.2 and 2.5):
+
+* hyperparameters are selected by k-fold cross-validation on *training*
+  data, never on the held-out test set;
+* every splitter takes an explicit random seed so that evaluation runs are
+  reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .base import BaseEstimator, clone
+from .metrics import accuracy_score
+
+
+class KFold:
+    """Standard k-fold splitter with optional seeded shuffling."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, n_samples: int) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        if n_samples < self.n_splits:
+            raise ValueError(
+                f"cannot split {n_samples} samples into {self.n_splits} folds"
+            )
+        indices = np.arange(n_samples)
+        if self.shuffle:
+            rng = np.random.default_rng(self.random_state)
+            indices = rng.permutation(n_samples)
+        folds = np.array_split(indices, self.n_splits)
+        for i in range(self.n_splits):
+            test_idx = folds[i]
+            train_idx = np.concatenate([folds[j] for j in range(self.n_splits) if j != i])
+            yield train_idx, test_idx
+
+
+class StratifiedKFold:
+    """K-fold that preserves per-class proportions in each fold."""
+
+    def __init__(self, n_splits: int = 5, shuffle: bool = True, random_state: Optional[int] = None):
+        if n_splits < 2:
+            raise ValueError("n_splits must be >= 2")
+        self.n_splits = n_splits
+        self.shuffle = shuffle
+        self.random_state = random_state
+
+    def split(self, y) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        y = np.asarray(y)
+        n_samples = len(y)
+        rng = np.random.default_rng(self.random_state)
+        fold_of = np.empty(n_samples, dtype=np.int64)
+        for klass in np.unique(y):
+            members = np.nonzero(y == klass)[0]
+            if self.shuffle:
+                members = rng.permutation(members)
+            if len(members) < self.n_splits:
+                raise ValueError(
+                    f"class {klass!r} has {len(members)} members, fewer than "
+                    f"{self.n_splits} folds"
+                )
+            fold_of[members] = np.arange(len(members)) % self.n_splits
+        indices = np.arange(n_samples)
+        for i in range(self.n_splits):
+            test_idx = indices[fold_of == i]
+            train_idx = indices[fold_of != i]
+            yield train_idx, test_idx
+
+
+def train_test_split(n_samples: int, test_fraction: float, random_state: int):
+    """Seeded 2-way index split; returns (train_idx, test_idx)."""
+    if not 0 < test_fraction < 1:
+        raise ValueError("test_fraction must be in (0, 1)")
+    rng = np.random.default_rng(random_state)
+    order = rng.permutation(n_samples)
+    n_test = int(round(test_fraction * n_samples))
+    return order[n_test:], order[:n_test]
+
+
+class ParameterGrid:
+    """Cartesian product over a ``{name: [values]}`` grid, in stable order."""
+
+    def __init__(self, grid: Dict[str, Sequence]):
+        if not grid:
+            raise ValueError("parameter grid must not be empty")
+        for name, values in grid.items():
+            if not isinstance(values, (list, tuple)):
+                raise TypeError(f"grid entry {name!r} must be a list or tuple")
+            if len(values) == 0:
+                raise ValueError(f"grid entry {name!r} is empty")
+        self.grid = grid
+
+    def __iter__(self) -> Iterator[Dict]:
+        names = sorted(self.grid)
+        for combo in itertools.product(*(self.grid[n] for n in names)):
+            yield dict(zip(names, combo))
+
+    def __len__(self) -> int:
+        total = 1
+        for values in self.grid.values():
+            total *= len(values)
+        return total
+
+
+class GridSearchCV(BaseEstimator):
+    """Exhaustive hyperparameter search with k-fold cross-validation.
+
+    The search only ever sees the data passed to :meth:`fit` — in the
+    FairPrep lifecycle that is the training split, which is what makes
+    hyperparameter selection leak-free. After the search, the best
+    configuration is refit on the full training data.
+
+    Parameters
+    ----------
+    estimator:
+        Template estimator (cloned per candidate and fold).
+    param_grid:
+        ``{param: [values]}``; nested pipeline params use ``step__param``.
+    cv:
+        Fold count for :class:`KFold`.
+    scoring:
+        ``callable(estimator, X, y) -> float``; defaults to accuracy.
+    random_state:
+        Seeds the fold shuffling (propagated, per Section 2.5).
+    """
+
+    def __init__(
+        self,
+        estimator: BaseEstimator,
+        param_grid: Dict[str, Sequence],
+        cv: int = 5,
+        scoring: Optional[Callable] = None,
+        random_state: Optional[int] = None,
+        refit: bool = True,
+    ):
+        self.estimator = estimator
+        self.param_grid = param_grid
+        self.cv = cv
+        self.scoring = scoring
+        self.random_state = random_state
+        self.refit = refit
+
+    def fit(self, X, y, sample_weight=None) -> "GridSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        candidates = list(ParameterGrid(self.param_grid))
+        folds = list(
+            KFold(self.cv, shuffle=True, random_state=self.random_state).split(len(y))
+        )
+        score_fn = self.scoring or _accuracy_scorer
+        results: List[Dict] = []
+        for params in candidates:
+            fold_scores = []
+            for train_idx, valid_idx in folds:
+                model = clone(self.estimator).set_params(**params)
+                fit_kwargs = {}
+                if sample_weight is not None:
+                    fit_kwargs["sample_weight"] = np.asarray(sample_weight)[train_idx]
+                model.fit(X[train_idx], y[train_idx], **fit_kwargs)
+                fold_scores.append(score_fn(model, X[valid_idx], y[valid_idx]))
+            fold_scores = np.asarray(fold_scores, dtype=np.float64)
+            results.append(
+                {
+                    "params": params,
+                    "mean_score": float(np.nanmean(fold_scores)),
+                    "std_score": float(np.nanstd(fold_scores)),
+                    "fold_scores": fold_scores.tolist(),
+                }
+            )
+        self.cv_results_ = results
+        best = max(
+            range(len(results)),
+            key=lambda i: (
+                -np.inf
+                if np.isnan(results[i]["mean_score"])
+                else results[i]["mean_score"]
+            ),
+        )
+        self.best_index_ = best
+        self.best_params_ = results[best]["params"]
+        self.best_score_ = results[best]["mean_score"]
+        if self.refit:
+            self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+            fit_kwargs = {}
+            if sample_weight is not None:
+                fit_kwargs["sample_weight"] = np.asarray(sample_weight)
+            self.best_estimator_.fit(X, y, **fit_kwargs)
+        return self
+
+    # delegate prediction to the refit best estimator
+    def predict(self, X):
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict(X)
+
+    def predict_proba(self, X):
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.predict_proba(X)
+
+    def decision_function(self, X):
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.decision_function(X)
+
+    @property
+    def classes_(self):
+        self._check_fitted("best_estimator_")
+        return self.best_estimator_.classes_
+
+
+def cross_val_score(
+    estimator: BaseEstimator,
+    X,
+    y,
+    cv: int = 5,
+    random_state: Optional[int] = None,
+    sample_weight=None,
+) -> np.ndarray:
+    """Per-fold accuracy of a (cloned) estimator under k-fold CV."""
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    scores = []
+    for train_idx, valid_idx in KFold(cv, shuffle=True, random_state=random_state).split(len(y)):
+        model = clone(estimator)
+        fit_kwargs = {}
+        if sample_weight is not None:
+            fit_kwargs["sample_weight"] = np.asarray(sample_weight)[train_idx]
+        model.fit(X[train_idx], y[train_idx], **fit_kwargs)
+        scores.append(accuracy_score(y[valid_idx], model.predict(X[valid_idx])))
+    return np.asarray(scores)
+
+
+def _accuracy_scorer(model, X, y) -> float:
+    return accuracy_score(y, model.predict(X))

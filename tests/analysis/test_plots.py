@@ -1,0 +1,113 @@
+"""Unit tests for the terminal scatter plots."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    ascii_scatter,
+    figure2_series,
+    figure3_series,
+    figure5_series,
+    plot_figure2_panel,
+    plot_figure3_panel,
+    plot_figure5_panel,
+)
+
+from .test_stats_figures import _run
+
+
+class TestAsciiScatter:
+    def test_basic_structure(self):
+        text = ascii_scatter(
+            {"a": ([1.0, 2.0], [1.0, 2.0])}, width=20, height=5, title="demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert lines[1].startswith("+") and lines[1].endswith("+")
+        assert len([l for l in lines if l.startswith("|")]) == 5
+        assert "legend: o = a" in text
+
+    def test_points_rendered_in_extremes(self):
+        text = ascii_scatter(
+            {"a": ([0.0, 1.0], [0.0, 1.0])}, width=10, height=5
+        )
+        body = [l for l in text.splitlines() if l.startswith("|")]
+        # lowest-left point on the bottom row, highest-right on the top row
+        assert "o" in body[0]
+        assert "o" in body[-1]
+
+    def test_two_conditions_two_glyphs(self):
+        text = ascii_scatter(
+            {"a": ([0.0], [0.0]), "b": ([1.0], [1.0])}, width=10, height=5
+        )
+        assert "o = a" in text and "x = b" in text
+        body = "\n".join(l for l in text.splitlines() if l.startswith("|"))
+        assert "o" in body and "x" in body
+
+    def test_nan_points_dropped(self):
+        text = ascii_scatter(
+            {"a": ([0.0, float("nan")], [0.0, 1.0])}, width=10, height=4
+        )
+        body = "".join(l for l in text.splitlines() if l.startswith("|"))
+        assert body.count("o") == 1
+
+    def test_all_nan_rejected(self):
+        with pytest.raises(ValueError, match="NaN"):
+            ascii_scatter({"a": ([float("nan")], [float("nan")])})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_scatter({})
+
+    def test_too_many_conditions_rejected(self):
+        series = {str(i): ([0.0], [0.0]) for i in range(5)}
+        with pytest.raises(ValueError, match="at most"):
+            ascii_scatter(series)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="lengths"):
+            ascii_scatter({"a": ([1.0], [1.0, 2.0])})
+
+    def test_constant_values_do_not_crash(self):
+        text = ascii_scatter({"a": ([1.0, 1.0], [2.0, 2.0])}, width=8, height=4)
+        assert "o" in text
+
+    def test_explicit_ranges(self):
+        text = ascii_scatter(
+            {"a": ([0.5], [0.5])}, x_range=(0.0, 1.0), y_range=(0.0, 1.0)
+        )
+        assert "[0.000, 1.000]" in text
+
+
+class TestFigurePanelPlots:
+    def test_figure2_panel_plot(self):
+        results = [
+            _run(learner="LogisticRegression(default)", seed=s, accuracy=0.6 + s / 100, di=0.7)
+            for s in range(4)
+        ] + [
+            _run(learner="LogisticRegression(tuned)", seed=s, accuracy=0.8, di=0.9)
+            for s in range(4)
+        ]
+        panels = figure2_series(results)
+        text = plot_figure2_panel(panels, "LogisticRegression", "no intervention", "DI")
+        assert "no tuning" in text and "tuning" in text
+
+    def test_figure3_panel_plot(self):
+        results = [
+            _run(scaler="StandardScaler", seed=s, accuracy=0.9) for s in range(3)
+        ] + [_run(scaler="NoOpScaler", seed=s, accuracy=0.4) for s in range(3)]
+        panels = figure3_series(results)
+        text = plot_figure3_panel(panels, "LogisticRegression", "no intervention")
+        assert "scaling" in text
+
+    def test_figure5_panel_plot(self):
+        results = [
+            _run(handler="CompleteCaseAnalysis", seed=s, accuracy=0.85, di=0.8)
+            for s in range(3)
+        ] + [
+            _run(handler="LearnedImputer(all)", seed=s, accuracy=0.86, di=0.82)
+            for s in range(3)
+        ]
+        panels = figure5_series(results)
+        text = plot_figure5_panel(panels, "LogisticRegression", "no intervention")
+        assert "complete case" in text and "imputed" in text

@@ -1,0 +1,268 @@
+"""Unit tests for the analysis layer."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    failure_rate,
+    figure2_series,
+    figure2_shape_checks,
+    figure3_series,
+    figure3_shape_checks,
+    figure4_series,
+    figure4_strategy_comparison,
+    figure5_series,
+    format_table,
+    ks_distance,
+    no_significant_difference,
+    render_figure2,
+    render_figure3,
+    render_figure4,
+    render_figure5,
+    summary,
+    variance_ratio,
+)
+from repro.core import CandidateResult, RunResult
+
+
+def _run(
+    learner="LogisticRegression(tuned)",
+    pre="NoIntervention",
+    post="NoIntervention",
+    scaler="StandardScaler",
+    handler="ModeImputer",
+    seed=0,
+    accuracy=0.8,
+    di=0.9,
+    fnrd=-0.05,
+    fprd=0.02,
+    imputed_accuracy=None,
+    complete_accuracy=None,
+):
+    test_metrics = {
+        "overall__accuracy": accuracy,
+        "group__disparate_impact": di,
+        "group__false_negative_rate_difference": fnrd,
+        "group__false_positive_rate_difference": fprd,
+    }
+    return RunResult(
+        dataset="demo",
+        random_seed=seed,
+        components={
+            "pre_processor": pre,
+            "post_processor": post,
+            "scaler": scaler,
+            "missing_value_handler": handler,
+        },
+        candidates=[CandidateResult(learner=learner, validation_metrics={})],
+        best_index=0,
+        test_metrics=test_metrics,
+        test_metrics_incomplete=(
+            {"overall__accuracy": imputed_accuracy} if imputed_accuracy is not None else {}
+        ),
+        test_metrics_complete=(
+            {"overall__accuracy": complete_accuracy} if complete_accuracy is not None else {}
+        ),
+    )
+
+
+class TestStats:
+    def test_summary_ignores_nan(self):
+        s = summary([1.0, float("nan"), 3.0])
+        assert s["count"] == 2
+        assert s["mean"] == 2.0
+
+    def test_summary_empty(self):
+        assert summary([])["count"] == 0
+
+    def test_variance_ratio_below_one_for_tighter_sample(self):
+        control = [0.1, 0.9, 0.2, 0.8, 0.15, 0.85]
+        treated = [0.48, 0.52, 0.49, 0.51, 0.50, 0.50]
+        assert variance_ratio(treated, control) < 0.1
+
+    def test_variance_ratio_degenerate(self):
+        assert np.isnan(variance_ratio([1.0], [1.0, 2.0]))
+        assert np.isnan(variance_ratio([1.0, 2.0], [3.0, 3.0]))
+
+    def test_ks_distance_identical_zero(self):
+        a = [0.1, 0.2, 0.3, 0.4]
+        assert ks_distance(a, a) == 0.0
+
+    def test_ks_distance_disjoint_one(self):
+        assert ks_distance([0.0, 0.1], [5.0, 6.0]) == 1.0
+
+    def test_no_significant_difference_same_distribution(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.85, 0.01, 30)
+        b = rng.normal(0.85, 0.01, 30)
+        assert no_significant_difference(a, b)
+
+    def test_significant_difference_detected(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.6, 0.01, 30)
+        b = rng.normal(0.9, 0.01, 30)
+        assert not no_significant_difference(a, b)
+
+    def test_no_significant_difference_needs_samples(self):
+        with pytest.raises(ValueError):
+            no_significant_difference([1.0], [2.0])
+
+    def test_failure_rate(self):
+        assert failure_rate([0.4, 0.6, 0.45, 0.9]) == 0.5
+
+
+class TestFigure2:
+    def _results(self):
+        rng = np.random.default_rng(0)
+        results = []
+        for seed in range(8):
+            # untuned: noisy and less accurate; tuned: tight and accurate
+            results.append(_run(
+                learner="LogisticRegression(default)", seed=seed,
+                accuracy=0.65 + rng.normal(0, 0.05),
+                di=0.7 + rng.normal(0, 0.25),
+            ))
+            results.append(_run(
+                learner="LogisticRegression(tuned)", seed=seed,
+                accuracy=0.78 + rng.normal(0, 0.01),
+                di=0.85 + rng.normal(0, 0.05),
+            ))
+        return results
+
+    def test_panels_keyed_by_learner_intervention_metric(self):
+        panels = figure2_series(self._results())
+        assert ("LogisticRegression", "no intervention", "DI") in panels
+        assert len(panels) == 3  # DI, FNRD, FPRD
+
+    def test_variance_ratio_below_one(self):
+        panels = figure2_series(self._results())
+        s = panels[("LogisticRegression", "no intervention", "DI")]["summary"]
+        assert s["fairness_variance_ratio"] < 1.0
+        assert s["accuracy_gain"] > 0.05
+
+    def test_shape_checks(self):
+        checks = figure2_shape_checks(figure2_series(self._results()))
+        assert checks["panels"] == 3
+        assert checks["variance_reduced_fraction"] == 1.0
+        assert checks["accuracy_not_hurt_fraction"] == 1.0
+
+    def test_render(self):
+        text = render_figure2(figure2_series(self._results()))
+        assert "var_ratio" in text
+        assert "LogisticRegression" in text
+
+
+class TestFigure3:
+    def _results(self):
+        rng = np.random.default_rng(1)
+        results = []
+        for seed in range(16):
+            results.append(_run(
+                learner="LogisticRegression(tuned)", scaler="StandardScaler",
+                seed=seed, accuracy=0.85 + rng.normal(0, 0.02)))
+            results.append(_run(
+                learner="LogisticRegression(tuned)", scaler="NoOpScaler",
+                seed=seed, accuracy=0.35 + rng.normal(0, 0.05)))
+            results.append(_run(
+                learner="DecisionTree(tuned)", scaler="StandardScaler",
+                seed=seed, accuracy=0.86 + rng.normal(0, 0.02)))
+            results.append(_run(
+                learner="DecisionTree(tuned)", scaler="NoOpScaler",
+                seed=seed, accuracy=0.86 + rng.normal(0, 0.02)))
+        return results
+
+    def test_panels(self):
+        panels = figure3_series(self._results())
+        assert ("LogisticRegression", "no intervention") in panels
+        assert ("DecisionTree", "no intervention") in panels
+
+    def test_lr_fails_without_scaling(self):
+        panels = figure3_series(self._results())
+        s = panels[("LogisticRegression", "no intervention")]["summary"]
+        assert s["unscaled_failure_rate"] == 1.0
+        assert s["scaled_failure_rate"] == 0.0
+
+    def test_shape_checks(self):
+        checks = figure3_shape_checks(figure3_series(self._results()))
+        assert checks["lr_mean_unscaled_failure_rate"] > 0.9
+        assert checks["dt_mean_scaling_ks_distance"] < 0.5
+
+    def test_render(self):
+        assert "fail_rate" in render_figure3(figure3_series(self._results()))
+
+
+class TestFigure4:
+    def _results(self):
+        rng = np.random.default_rng(2)
+        results = []
+        for handler in ("ModeImputer", "LearnedImputer(all)"):
+            for seed in range(6):
+                results.append(_run(
+                    handler=handler, seed=seed,
+                    accuracy=0.85,
+                    imputed_accuracy=0.88 + rng.normal(0, 0.01),
+                    complete_accuracy=0.84 + rng.normal(0, 0.01),
+                ))
+        return results
+
+    def test_panels_keyed_with_strategy(self):
+        panels = figure4_series(self._results())
+        assert ("LogisticRegression", "no intervention", "ModeImputer") in panels
+
+    def test_imputed_records_more_accurate(self):
+        panels = figure4_series(self._results())
+        s = panels[("LogisticRegression", "no intervention", "ModeImputer")]["summary"]
+        assert s["imputed_minus_complete"] > 0
+
+    def test_runs_without_strata_skipped(self):
+        panels = figure4_series([_run()])  # no imputed metrics
+        assert panels == {}
+
+    def test_strategy_comparison(self):
+        comparison = figure4_strategy_comparison(
+            figure4_series(self._results()), "ModeImputer", "LearnedImputer(all)"
+        )
+        assert comparison["no_significant_difference"] is True
+
+    def test_render(self):
+        assert "imputation" in render_figure4(figure4_series(self._results()))
+
+
+class TestFigure5:
+    def _results(self):
+        rng = np.random.default_rng(3)
+        results = []
+        for handler in ("CompleteCaseAnalysis", "LearnedImputer(all)"):
+            for seed in range(6):
+                results.append(_run(
+                    handler=handler, seed=seed,
+                    accuracy=0.85 + rng.normal(0, 0.01),
+                    di=0.75 + rng.normal(0, 0.03),
+                ))
+        return results
+
+    def test_conditions_split(self):
+        panels = figure5_series(self._results())
+        panel = panels[("LogisticRegression", "no intervention")]
+        assert len(panel["complete case"]["accuracy"]) == 6
+        assert len(panel["imputed"]["accuracy"]) == 6
+
+    def test_di_no_significant_difference(self):
+        panels = figure5_series(self._results())
+        s = panels[("LogisticRegression", "no intervention")]["summary"]
+        assert s["di_no_significant_difference"] is True
+
+    def test_render(self):
+        assert "DI_same?" in render_figure5(figure5_series(self._results()))
+
+
+class TestFormatTable:
+    def test_alignment_and_float_formatting(self):
+        text = format_table(["a", "metric"], [["x", 0.12345], ["longer", float("nan")]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "0.123" in text and "nan" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a"], [])
+        assert "a" in text

@@ -1,0 +1,89 @@
+"""Unit tests for the threshold sweep."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import best_threshold, threshold_sweep
+from repro.fairness import BinaryLabelDataset
+
+PRIV = [{"sex": 1.0}]
+UNPRIV = [{"sex": 0.0}]
+
+
+@pytest.fixture
+def scored():
+    rng = np.random.default_rng(0)
+    n = 500
+    sex = (rng.random(n) < 0.5).astype(float)
+    labels = (rng.random(n) < 0.4 + 0.2 * sex).astype(float)
+    scores = np.clip(0.5 * labels + 0.2 * sex + rng.normal(0, 0.18, n), 0, 1)
+    ds = BinaryLabelDataset(
+        features=rng.normal(size=(n, 2)),
+        labels=labels,
+        protected_attributes=sex,
+        protected_attribute_names=["sex"],
+    )
+    return ds, scores
+
+
+class TestSweep:
+    def test_row_count_and_fields(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=11)
+        assert len(rows) == 11
+        assert set(rows[0]) == {
+            "threshold", "accuracy", "balanced_accuracy", "selection_rate",
+            "statistical_parity_difference", "disparate_impact",
+        }
+
+    def test_selection_rate_monotone_decreasing(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=11)
+        rates = [row["selection_rate"] for row in rows]
+        assert all(a >= b - 1e-12 for a, b in zip(rates, rates[1:]))
+
+    def test_extreme_thresholds(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=5)
+        assert rows[0]["selection_rate"] == 1.0  # threshold 0 selects everyone
+
+    def test_length_mismatch(self, scored):
+        ds, scores = scored
+        with pytest.raises(ValueError, match="length"):
+            threshold_sweep(ds, scores[:-1], UNPRIV, PRIV)
+
+    def test_min_thresholds(self, scored):
+        ds, scores = scored
+        with pytest.raises(ValueError):
+            threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=1)
+
+
+class TestBestThreshold:
+    def test_unconstrained_maximizes_objective(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=21)
+        best = best_threshold(rows, objective="balanced_accuracy")
+        assert best["balanced_accuracy"] == max(
+            r["balanced_accuracy"] for r in rows if not np.isnan(r["balanced_accuracy"])
+        )
+
+    def test_constrained_respects_bound(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=21)
+        best = best_threshold(rows, fairness_bound=0.1)
+        assert abs(best["statistical_parity_difference"]) <= 0.1
+
+    def test_infeasible_bound_falls_back_to_least_violation(self, scored):
+        ds, scores = scored
+        rows = threshold_sweep(ds, scores, UNPRIV, PRIV, num_thresholds=21)
+        best = best_threshold(rows, fairness_bound=0.0)
+        least = min(
+            abs(r["statistical_parity_difference"])
+            for r in rows
+            if not np.isnan(r["statistical_parity_difference"])
+        )
+        assert abs(best["statistical_parity_difference"]) == pytest.approx(least)
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError):
+            best_threshold([])

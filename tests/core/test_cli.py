@@ -1,0 +1,104 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_requires_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run"])
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--dataset", "nope"])
+
+    def test_grid_defaults(self):
+        args = build_parser().parse_args(["grid", "--dataset", "ricci"])
+        assert args.seeds == 3
+        assert "none" in args.interventions
+
+
+class TestCommands:
+    def test_datasets_lists_all(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("adult", "germancredit", "propublica", "ricci", "payment"):
+            assert name in out
+
+    def test_describe(self, capsys):
+        assert main(["describe", "--dataset", "ricci"]) == 0
+        out = capsys.readouterr().out
+        assert "written" in out
+        assert "incomplete rows: 0 / 118" in out
+
+    def test_describe_with_missing(self, capsys):
+        assert main(["describe", "--dataset", "adult", "--size", "1000"]) == 0
+        out = capsys.readouterr().out
+        assert "incomplete rows:" in out
+        assert "workclass" in out
+
+    def test_run_complete_dataset(self, capsys):
+        code = main([
+            "run", "--dataset", "ricci", "--no-tuning", "--seed", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "overall__accuracy" in out
+        assert "group__disparate_impact" in out
+
+    def test_run_with_intervention_and_scaler(self, capsys):
+        code = main([
+            "run", "--dataset", "germancredit", "--no-tuning",
+            "--intervention", "reweighing", "--scaler", "minmax",
+        ])
+        assert code == 0
+        assert "overall__accuracy" in capsys.readouterr().out
+
+    def test_run_postprocessing_intervention(self, capsys):
+        code = main([
+            "run", "--dataset", "germancredit", "--no-tuning",
+            "--intervention", "cal-eq-odds",
+        ])
+        assert code == 0
+
+    def test_run_auto_imputation_on_adult(self, capsys):
+        code = main([
+            "run", "--dataset", "adult", "--size", "1500", "--no-tuning",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "imputed records" in out
+
+    def test_run_protected_override(self, capsys):
+        code = main([
+            "run", "--dataset", "adult", "--size", "1500", "--no-tuning",
+            "--protected", "sex",
+        ])
+        assert code == 0
+
+    def test_grid_aggregates(self, capsys):
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "2",
+            "--interventions", "none", "reweighing",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "NoIntervention" in out
+        assert "Reweighing" in out
+
+    def test_grid_writes_output(self, tmp_path, capsys):
+        output = str(tmp_path / "runs.jsonl")
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "2",
+            "--interventions", "none", "--output", output,
+        ])
+        assert code == 0
+        from repro.core import ResultsStore
+
+        assert len(ResultsStore(output).load()) == 2

@@ -1,0 +1,365 @@
+"""Integration-style unit tests for the Experiment lifecycle."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AccuracySelector,
+    CalibratedEqOddsPostProcessor,
+    CompleteCaseAnalysis,
+    ConstrainedSelector,
+    DIRemover,
+    DatawigImputer,
+    DecisionTree,
+    Experiment,
+    FunctionSelector,
+    Learner,
+    LogisticRegression,
+    ModeImputer,
+    NoIntervention,
+    RejectOptionPostProcessor,
+    ReweighingPreProcessor,
+    ResultsStore,
+    RunResult,
+)
+from repro.datasets import load_dataset
+from repro.learn import NoOpScaler, StandardScaler
+
+FAST_LR = dict(tuned=False)
+SMALL_GRID_LR = dict(tuned=True, param_grid={"penalty": ["l2"], "alpha": [0.001, 0.01]}, cv=3)
+
+
+@pytest.fixture(scope="module")
+def german():
+    return load_dataset("germancredit")
+
+
+@pytest.fixture(scope="module")
+def adult_small():
+    return load_dataset("adult", n=3000)
+
+
+class TestLifecycleBasics:
+    def test_split_sizes_70_10_20(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame, spec, random_seed=0, learner=LogisticRegression(**FAST_LR)
+        ).run()
+        assert result.sizes["train"] == 700
+        assert result.sizes["validation"] == 100
+        assert result.sizes["test"] == 200
+
+    def test_metric_bundle_complete(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame, spec, random_seed=0, learner=LogisticRegression(**FAST_LR)
+        ).run()
+        assert len(result.test_metrics) == 25 * 3 + 22
+        assert "overall__accuracy" in result.test_metrics
+        assert "group__disparate_impact" in result.test_metrics
+
+    def test_validation_and_train_metrics_recorded(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame, spec, random_seed=0, learner=LogisticRegression(**FAST_LR)
+        ).run()
+        candidate = result.best_candidate
+        assert "overall__accuracy" in candidate.validation_metrics
+        assert "overall__accuracy" in candidate.train_metrics
+
+    def test_component_description(self, german):
+        frame, spec = german
+        experiment = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            pre_processor=DIRemover(0.5),
+        )
+        description = experiment.component_description()
+        assert description["pre_processor"] == "DIRemover(0.5)"
+        assert description["scaler"] == "StandardScaler"
+        assert description["protected_attribute"] == "sex"
+
+    def test_requires_at_least_one_learner(self, german):
+        frame, spec = german
+        with pytest.raises(ValueError, match="learner"):
+            Experiment(frame, spec, random_seed=0, learner=[])
+
+
+class TestReproducibility:
+    def test_same_seed_identical_results(self, german):
+        frame, spec = german
+        runs = [
+            Experiment(
+                frame, spec, random_seed=7, learner=LogisticRegression(**FAST_LR)
+            ).run()
+            for _ in range(2)
+        ]
+        assert runs[0].to_json() == runs[1].to_json()
+
+    def test_different_seeds_differ(self, german):
+        frame, spec = german
+        a = Experiment(frame, spec, random_seed=1, learner=LogisticRegression(**FAST_LR)).run()
+        b = Experiment(frame, spec, random_seed=2, learner=LogisticRegression(**FAST_LR)).run()
+        assert a.test_metrics["overall__accuracy"] != pytest.approx(
+            b.test_metrics["overall__accuracy"], abs=1e-12
+        ) or a.to_json() != b.to_json()
+
+
+class _SpyLearner(Learner):
+    """Records what the framework exposes to user code."""
+
+    def __init__(self):
+        self.seen_rows = None
+        self.seen_seed = None
+
+    def fit_model(self, train_data, seed):
+        self.seen_rows = train_data.num_instances
+        self.seen_seed = seed
+        return LogisticRegression(tuned=False).fit_model(train_data, seed)
+
+    def name(self):
+        return "Spy"
+
+
+class TestIsolation:
+    def test_learner_sees_only_training_rows(self, german):
+        frame, spec = german
+        spy = _SpyLearner()
+        Experiment(frame, spec, random_seed=0, learner=spy).run()
+        assert spy.seen_rows == 700  # train split only, never val/test
+
+    def test_seed_propagated_to_learner(self, german):
+        frame, spec = german
+        spy = _SpyLearner()
+        Experiment(frame, spec, random_seed=123, learner=spy).run()
+        assert spy.seen_seed == 123
+
+    def test_scaler_never_refit_on_eval_data(self, german):
+        frame, spec = german
+
+        class CountingScaler(StandardScaler):
+            fit_calls = 0
+
+            def fit(self, X, y=None):
+                type(self).fit_calls += 1
+                return super().fit(X, y)
+
+        CountingScaler.fit_calls = 0
+        Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            numeric_attribute_scaler=CountingScaler(),
+        ).run()
+        assert CountingScaler.fit_calls == 1
+
+
+class TestInterventions:
+    @pytest.mark.parametrize(
+        "pre",
+        [None, ReweighingPreProcessor(), DIRemover(0.5), DIRemover(1.0)],
+        ids=["none", "reweighing", "di-0.5", "di-1.0"],
+    )
+    def test_preprocessing_interventions_run(self, german, pre):
+        frame, spec = german
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            pre_processor=pre,
+        ).run()
+        assert 0.4 < result.test_metrics["overall__accuracy"] <= 1.0
+
+    @pytest.mark.parametrize(
+        "post",
+        [
+            RejectOptionPostProcessor(num_class_thresh=10, num_ROC_margin=10),
+            CalibratedEqOddsPostProcessor(),
+        ],
+        ids=["reject-option", "cal-eq-odds"],
+    )
+    def test_postprocessing_interventions_run(self, german, post):
+        frame, spec = german
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            post_processor=post,
+        ).run()
+        assert 0.4 < result.test_metrics["overall__accuracy"] <= 1.0
+
+    def test_reweighing_reduces_training_disparity(self, german):
+        frame, spec = german
+        base = Experiment(
+            frame, spec, random_seed=3, learner=LogisticRegression(**SMALL_GRID_LR)
+        ).run()
+        reweighed = Experiment(
+            frame,
+            spec,
+            random_seed=3,
+            learner=LogisticRegression(**SMALL_GRID_LR),
+            pre_processor=ReweighingPreProcessor(),
+        ).run()
+        # reweighing should pull the test-set DI toward 1
+        assert abs(1.0 - reweighed.test_metrics["group__disparate_impact"]) <= abs(
+            1.0 - base.test_metrics["group__disparate_impact"]
+        ) + 0.15
+
+    def test_postprocessor_requiring_scores_with_scoreless_model(self, german):
+        frame, spec = german
+
+        class ScorelessLearner(Learner):
+            def fit_model(self, train_data, seed):
+                inner = LogisticRegression(tuned=False).fit_model(train_data, seed)
+
+                class NoScores:
+                    def predict(self, X):
+                        return inner.predict(X)
+
+                    def predict_scores(self, X):
+                        return None
+
+                return NoScores()
+
+        with pytest.raises(ValueError, match="scores"):
+            Experiment(
+                frame,
+                spec,
+                random_seed=0,
+                learner=ScorelessLearner(),
+                post_processor=CalibratedEqOddsPostProcessor(),
+            ).run()
+
+
+class TestModelSelection:
+    def test_multiple_candidates_best_by_accuracy(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=[LogisticRegression(**FAST_LR), DecisionTree(tuned=False)],
+        ).run()
+        assert len(result.candidates) == 2
+        accuracies = [
+            c.validation_metrics["overall__accuracy"] for c in result.candidates
+        ]
+        assert result.best_index == int(np.argmax(accuracies))
+
+    def test_function_selector(self, german):
+        frame, spec = german
+        pick_last = FunctionSelector(lambda metrics: len(metrics) - 1, label="last")
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=[LogisticRegression(**FAST_LR), DecisionTree(tuned=False)],
+            model_selector=pick_last,
+        ).run()
+        assert result.best_index == 1
+
+    def test_constrained_selector(self, german):
+        frame, spec = german
+        selector = ConstrainedSelector(
+            objective="overall__accuracy",
+            constraint_metric="group__disparate_impact",
+            constraint_target=1.0,
+            constraint_slack=0.5,
+        )
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=[LogisticRegression(**FAST_LR), DecisionTree(tuned=False)],
+            model_selector=selector,
+        ).run()
+        assert result.best_index in (0, 1)
+
+
+class TestMissingValueLifecycle:
+    def test_complete_case_shrinks_splits(self, adult_small):
+        frame, spec = adult_small
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            missing_value_handler=CompleteCaseAnalysis(),
+        ).run()
+        assert result.sizes["test"] < 600
+        assert result.sizes["test_incomplete"] == 0
+        assert result.test_metrics_incomplete == {}
+
+    def test_imputation_keeps_all_rows_and_reports_strata(self, adult_small):
+        frame, spec = adult_small
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            missing_value_handler=ModeImputer(),
+        ).run()
+        assert result.sizes["test"] == 600
+        assert result.sizes["test_incomplete"] > 0
+        assert "overall__accuracy" in result.test_metrics_incomplete
+        assert "overall__accuracy" in result.test_metrics_complete
+
+    def test_datawig_imputer_in_lifecycle(self, adult_small):
+        frame, spec = adult_small
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            missing_value_handler=DatawigImputer(),
+        ).run()
+        assert result.sizes["test_incomplete"] > 0
+
+    def test_missing_data_without_handler_fails_loudly(self, adult_small):
+        frame, spec = adult_small
+        with pytest.raises(ValueError, match="missing values"):
+            Experiment(
+                frame, spec, random_seed=0, learner=LogisticRegression(**FAST_LR)
+            ).run()
+
+
+class TestScalers:
+    def test_noop_scaler_accepted(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=DecisionTree(tuned=False),
+            numeric_attribute_scaler=NoOpScaler(),
+        ).run()
+        assert result.test_metrics["overall__accuracy"] > 0.5
+
+
+class TestResultsStore:
+    def test_run_appends_to_store(self, german, tmp_path):
+        frame, spec = german
+        store = ResultsStore(str(tmp_path / "results.jsonl"))
+        Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(**FAST_LR),
+            results_store=store,
+        ).run()
+        loaded = store.load()
+        assert len(loaded) == 1
+        assert loaded[0].dataset == "germancredit"
+
+    def test_json_roundtrip(self, german):
+        frame, spec = german
+        result = Experiment(
+            frame, spec, random_seed=0, learner=LogisticRegression(**FAST_LR)
+        ).run()
+        clone = RunResult.from_json(result.to_json())
+        assert clone.to_json() == result.to_json()

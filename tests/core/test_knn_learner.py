@@ -1,0 +1,45 @@
+"""Unit tests for the k-NN learner wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.core import Experiment, Featurizer, KNearestNeighbors
+from repro.datasets import GERMANCREDIT_SPEC, load_dataset
+from repro.learn import StandardScaler
+
+
+@pytest.fixture(scope="module")
+def annotated():
+    frame, spec = load_dataset("germancredit")
+    featurizer = Featurizer(spec, StandardScaler()).fit(frame)
+    return featurizer.transform(frame)
+
+
+class TestKNearestNeighbors:
+    def test_untuned_predicts(self, annotated):
+        model = KNearestNeighbors(tuned=False).fit_model(annotated, seed=0)
+        predictions = model.predict(annotated.features)
+        assert set(np.unique(predictions)) <= {0.0, 1.0}
+
+    def test_tuned_selects_k(self, annotated):
+        learner = KNearestNeighbors(tuned=True, neighbor_grid=[3, 11], cv=3)
+        learner.fit_model(annotated, seed=0)
+        assert learner.last_search_.best_params_["n_neighbors"] in (3, 11)
+
+    def test_scores_available(self, annotated):
+        model = KNearestNeighbors(tuned=False).fit_model(annotated, seed=0)
+        scores = model.predict_scores(annotated.features)
+        assert ((scores >= 0) & (scores <= 1)).all()
+
+    def test_name(self):
+        assert KNearestNeighbors(tuned=False).name() == "KNearestNeighbors(default)"
+
+    def test_in_lifecycle(self):
+        frame, spec = load_dataset("germancredit")
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=KNearestNeighbors(tuned=False),
+        ).run()
+        assert result.test_metrics["overall__accuracy"] > 0.55

@@ -1,0 +1,215 @@
+"""Unit tests for missing-value handlers and resamplers."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    BootstrapResampler,
+    ClassBalancingResampler,
+    CompleteCaseAnalysis,
+    DatawigImputer,
+    LearnedImputer,
+    ModeImputer,
+    NoMissingValues,
+    NoResampling,
+)
+from repro.frame import DataFrame
+
+FEATURES = ["age", "job", "city"]
+
+
+@pytest.fixture
+def train():
+    return DataFrame.from_dict(
+        {
+            "age": [30.0, 40.0, None, 50.0, 40.0, 35.0],
+            "job": ["a", "a", "b", None, "a", "b"],
+            "city": ["x", "y", "x", "x", None, "y"],
+            "label": ["p", "n", "p", "n", "p", "n"],
+        }
+    )
+
+
+@pytest.fixture
+def test_frame():
+    return DataFrame.from_dict(
+        {
+            "age": [None, 60.0],
+            "job": ["b", None],
+            "city": ["x", "x"],
+            "label": ["p", "n"],
+        }
+    )
+
+
+class TestCompleteCase:
+    def test_drops_incomplete_rows(self, train):
+        handler = CompleteCaseAnalysis().fit(train, FEATURES, seed=0)
+        out = handler.handle_missing(train)
+        assert out.num_rows == 3
+        assert out.num_incomplete_rows() == 0
+
+    def test_drops_rows_flag(self):
+        assert CompleteCaseAnalysis().drops_rows
+
+    def test_applies_to_any_split(self, train, test_frame):
+        handler = CompleteCaseAnalysis().fit(train, FEATURES, seed=0)
+        assert handler.handle_missing(test_frame).num_rows == 0
+
+
+class TestNoMissingValues:
+    def test_passthrough_on_complete_data(self, train):
+        complete = train.dropna()
+        handler = NoMissingValues().fit(complete, FEATURES, seed=0)
+        assert handler.handle_missing(complete).equals(complete)
+
+    def test_raises_on_missing(self, train):
+        handler = NoMissingValues().fit(train, FEATURES, seed=0)
+        with pytest.raises(ValueError, match="missing values"):
+            handler.handle_missing(train)
+
+
+class TestModeImputer:
+    def test_fills_with_train_statistics(self, train, test_frame):
+        handler = ModeImputer().fit(train, FEATURES, seed=0)
+        out = handler.handle_missing(test_frame)
+        assert out["age"][0] == pytest.approx(39.0)  # train mean
+        assert out["job"][1] == "a"  # train mode
+
+    def test_preserves_row_count_and_order(self, train):
+        handler = ModeImputer().fit(train, FEATURES, seed=0)
+        out = handler.handle_missing(train)
+        assert out.num_rows == train.num_rows
+        assert list(out["label"]) == list(train["label"])
+
+    def test_no_missing_after_handling(self, train):
+        handler = ModeImputer().fit(train, FEATURES, seed=0)
+        assert handler.handle_missing(train).missing_mask(FEATURES).sum() == 0
+
+    def test_does_not_drop_rows(self):
+        assert not ModeImputer().drops_rows
+
+    def test_original_frame_untouched(self, train):
+        handler = ModeImputer().fit(train, FEATURES, seed=0)
+        handler.handle_missing(train)
+        assert train.col("age").num_missing() == 1
+
+
+def _mnar_frame(n=400, seed=0):
+    """Numeric + categorical frame where the missing column is predictable."""
+    rng = np.random.default_rng(seed)
+    group = rng.choice(["g1", "g2"], size=n)
+    age = np.where(group == "g1", 30.0, 60.0) + rng.normal(0, 2.0, n)
+    color = np.where(group == "g1", "red", "blue").astype(object)
+    # hide 25% of color and age values
+    color[rng.random(n) < 0.25] = None
+    age_obj = age.astype(object)
+    age_obj[rng.random(n) < 0.25] = None
+    return DataFrame.from_dict(
+        {
+            "group": group,
+            "age": age_obj,
+            "color": color,
+            "label": rng.choice(["p", "n"], size=n),
+        },
+        kinds={"age": "numeric"},
+    )
+
+
+class TestLearnedImputer:
+    def test_categorical_imputation_uses_predictors(self):
+        frame = _mnar_frame()
+        handler = LearnedImputer().fit(frame, ["group", "age", "color"], seed=0)
+        out = handler.handle_missing(frame)
+        mask = frame.col("color").missing_mask()
+        imputed = out["color"][mask]
+        truth = np.where(frame["group"][mask] == "g1", "red", "blue")
+        accuracy = (imputed == truth).mean()
+        assert accuracy > 0.9  # far better than the ~0.5 mode baseline
+
+    def test_numeric_imputation_tracks_group_means(self):
+        frame = _mnar_frame(seed=1)
+        handler = LearnedImputer().fit(frame, ["group", "age", "color"], seed=0)
+        out = handler.handle_missing(frame)
+        mask = frame.col("age").missing_mask()
+        g1 = mask & (frame["group"] == "g1")
+        g2 = mask & (frame["group"] == "g2")
+        assert abs(out["age"][g1].mean() - 30.0) < 4.0
+        assert abs(out["age"][g2].mean() - 60.0) < 4.0
+
+    def test_no_missing_left(self):
+        frame = _mnar_frame()
+        handler = LearnedImputer().fit(frame, ["group", "age", "color"], seed=0)
+        out = handler.handle_missing(frame)
+        assert out.missing_mask(["group", "age", "color"]).sum() == 0
+
+    def test_explicit_target_columns(self):
+        frame = _mnar_frame()
+        handler = LearnedImputer(target_columns=["color"]).fit(
+            frame, ["group", "age", "color"], seed=0
+        )
+        out = handler.handle_missing(frame)
+        assert out.col("color").num_missing() == 0
+        # age is not a target but still gets the fallback fill
+        assert out.col("age").num_missing() == 0
+
+    def test_unknown_target_rejected(self):
+        frame = _mnar_frame()
+        with pytest.raises(KeyError, match="outside"):
+            LearnedImputer(target_columns=["nope"]).fit(
+                frame, ["group", "age", "color"], seed=0
+            )
+
+    def test_handle_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            LearnedImputer().handle_missing(_mnar_frame())
+
+    def test_label_never_used_as_predictor(self):
+        # feature set excludes 'label'; imputation must work without it and
+        # the encoder must not see it
+        frame = _mnar_frame()
+        handler = LearnedImputer().fit(frame, ["group", "age", "color"], seed=0)
+        for model in handler._models.values():
+            if "encoder" in model:
+                encoded_columns = model["encoder"].columns
+                assert "label" not in encoded_columns
+
+    def test_datawig_alias(self):
+        assert issubclass(DatawigImputer, LearnedImputer)
+
+    def test_deterministic_given_seed(self):
+        frame = _mnar_frame()
+        a = LearnedImputer().fit(frame, ["group", "age", "color"], seed=5)
+        b = LearnedImputer().fit(frame, ["group", "age", "color"], seed=5)
+        out_a = a.handle_missing(frame)
+        out_b = b.handle_missing(frame)
+        assert out_a.equals(out_b)
+
+
+class TestResamplers:
+    def test_no_resampling_identity(self, train):
+        assert NoResampling().resample(train, seed=0) is train
+
+    def test_bootstrap_size(self, train):
+        out = BootstrapResampler(fraction=2.0).resample(train, seed=0)
+        assert out.num_rows == 12
+
+    def test_bootstrap_deterministic(self, train):
+        a = BootstrapResampler().resample(train, seed=3)
+        b = BootstrapResampler().resample(train, seed=3)
+        assert a.equals(b)
+
+    def test_bootstrap_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            BootstrapResampler(fraction=0.0)
+
+    def test_class_balancing_equalizes(self):
+        frame = DataFrame.from_dict(
+            {
+                "x": list(range(10)),
+                "label": ["p"] * 8 + ["n"] * 2,
+            }
+        )
+        out = ClassBalancingResampler("label").resample(frame, seed=0)
+        values, counts = np.unique(list(out["label"]), return_counts=True)
+        assert counts[0] == counts[1] == 8

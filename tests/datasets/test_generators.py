@@ -1,0 +1,276 @@
+"""Unit tests for the synthetic dataset generators.
+
+These assert the paper-documented statistics that the experiments depend
+on, so regressions in the generators surface as test failures rather than
+silently changing the figures.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    ADULT_SPEC,
+    GERMANCREDIT_SPEC,
+    PAYMENT_SPEC,
+    PROPUBLICA_SPEC,
+    RICCI_SPEC,
+    dataset_names,
+    generate_adult,
+    generate_germancredit,
+    generate_payment,
+    generate_propublica,
+    generate_ricci,
+    load_dataset,
+)
+from repro.frame import group_missing_rates, value_counts
+
+
+class TestRegistry:
+    def test_names(self):
+        assert dataset_names() == [
+            "adult",
+            "germancredit",
+            "payment",
+            "propublica",
+            "ricci",
+        ]
+
+    def test_load_dataset_roundtrip(self):
+        frame, spec = load_dataset("ricci")
+        assert spec is RICCI_SPEC
+        spec.validate(frame)
+
+    def test_load_dataset_size_override(self):
+        frame, _ = load_dataset("adult", n=500)
+        assert frame.num_rows == 500
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="available"):
+            load_dataset("compas")
+
+    def test_all_specs_validate_their_frames(self):
+        for name in dataset_names():
+            n = 800 if name == "adult" else None
+            frame, spec = load_dataset(name, n=n)
+            spec.validate(frame)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", ["germancredit", "ricci", "payment", "propublica"])
+    def test_same_seed_same_frame(self, name):
+        a, _ = load_dataset(name, seed=7)
+        b, _ = load_dataset(name, seed=7)
+        assert a.equals(b)
+
+    def test_different_seed_different_frame(self):
+        a, _ = load_dataset("germancredit", seed=1)
+        b, _ = load_dataset("germancredit", seed=2)
+        assert not a.equals(b)
+
+    def test_adult_deterministic(self):
+        a = generate_adult(n=2000, seed=3)
+        b = generate_adult(n=2000, seed=3)
+        assert a.equals(b)
+
+
+class TestGermanCredit:
+    def test_shape(self):
+        frame = generate_germancredit()
+        assert frame.num_rows == 1000
+        # 20 attributes + derived sex + label
+        assert frame.num_columns == 22
+
+    def test_label_split_70_30(self):
+        frame = generate_germancredit()
+        counts = value_counts(frame, "credit_risk")
+        assert counts["good"] == pytest.approx(700, abs=15)
+
+    def test_no_missing_values(self):
+        assert generate_germancredit().num_incomplete_rows() == 0
+
+    def test_sex_derived_from_personal_status(self):
+        frame = generate_germancredit()
+        status = frame["personal_status_sex"]
+        sex = frame["sex"]
+        for s, x in zip(status, sex):
+            assert s.startswith(x)
+
+    def test_sex_disparity_present_but_modest(self):
+        frame = generate_germancredit(seed=1)
+        good = frame["credit_risk"] == "good"
+        male = frame["sex"] == "male"
+        male_rate = good[male].mean()
+        female_rate = good[~male].mean()
+        assert 0.6 < female_rate / male_rate < 1.0
+
+    def test_numeric_ranges(self):
+        frame = generate_germancredit()
+        assert frame.col("age").min() >= 19
+        assert frame.col("duration_months").max() <= 72
+        assert frame.col("installment_rate").max() <= 4
+
+
+class TestAdult:
+    @pytest.fixture(scope="class")
+    def adult(self):
+        return generate_adult(seed=0)
+
+    def test_default_size(self, adult):
+        assert adult.num_rows == 32561
+        assert adult.num_columns == 15
+
+    def test_incomplete_fraction_near_paper_value(self, adult):
+        # paper: 2,399 of 32,561 instances have missing values (~7.4%)
+        fraction = adult.num_incomplete_rows() / adult.num_rows
+        assert fraction == pytest.approx(0.074, abs=0.02)
+
+    def test_missing_only_in_documented_columns(self, adult):
+        for column in adult.columns:
+            if column in ("workclass", "occupation", "native_country"):
+                assert adult.col(column).num_missing() > 0
+            else:
+                assert adult.col(column).num_missing() == 0
+
+    def test_native_country_missing_4x_for_nonwhite(self, adult):
+        white_mask = np.asarray([r == "White" for r in adult["race"]])
+        missing = adult.col("native_country").missing_mask()
+        rate_white = missing[white_mask].mean()
+        rate_nonwhite = missing[~white_mask].mean()
+        assert rate_nonwhite / rate_white == pytest.approx(4.0, rel=0.5)
+
+    def test_positive_rate_complete_vs_incomplete(self, adult):
+        incomplete = adult.missing_mask()
+        positive = np.asarray([v == ">50K" for v in adult["income"]])
+        assert positive[~incomplete].mean() == pytest.approx(0.24, abs=0.03)
+        assert positive[incomplete].mean() == pytest.approx(0.14, abs=0.04)
+
+    def test_marital_status_flip_among_incomplete(self, adult):
+        incomplete = adult.missing_mask()
+        complete_frame = adult.mask(~incomplete)
+        incomplete_frame = adult.mask(incomplete)
+        assert complete_frame.col("marital_status").mode() == "Married-civ-spouse"
+        assert incomplete_frame.col("marital_status").mode() == "Never-married"
+
+    def test_race_distribution(self, adult):
+        counts = value_counts(adult, "race", normalize=True)
+        assert counts["White"] == pytest.approx(0.85, abs=0.02)
+
+    def test_missing_rate_helper_agrees(self, adult):
+        rates = group_missing_rates(adult, "race", "native_country")
+        assert rates["White"] < rates["Black"]
+
+
+class TestRicci:
+    def test_shape(self):
+        frame = generate_ricci()
+        assert frame.num_rows == 118
+        assert set(frame.columns) == {
+            "position", "race", "written", "oral", "combine", "promoted"
+        }
+
+    def test_combine_formula(self):
+        frame = generate_ricci()
+        expected = 0.6 * frame["written"] + 0.4 * frame["oral"]
+        assert np.allclose(frame["combine"], expected, atol=0.02)
+
+    def test_promotion_rule_threshold_70(self):
+        frame = generate_ricci()
+        promoted = frame["promoted"] == "yes"
+        assert (frame["combine"][promoted] >= 70.0).all()
+        assert (frame["combine"][~promoted] < 70.0).all()
+
+    def test_racial_score_gap(self):
+        frame = generate_ricci(seed=2)
+        white = frame["race"] == "White"
+        assert frame["written"][white].mean() > frame["written"][~white].mean() + 3.0
+
+    def test_scores_on_raw_scale(self):
+        # the Figure 3 stress test depends on unscaled 0-100 features
+        frame = generate_ricci()
+        assert frame.col("written").max() > 60.0
+        assert frame.col("written").min() > 20.0
+
+
+class TestPropublica:
+    def test_shape(self):
+        frame = generate_propublica()
+        assert frame.num_rows == 6172
+
+    def test_recidivism_base_rate(self):
+        frame = generate_propublica()
+        counts = value_counts(frame, "two_year_recid", normalize=True)
+        assert counts["yes"] == pytest.approx(0.451, abs=0.02)
+
+    def test_decile_scores_skewed_by_race(self):
+        frame = generate_propublica(seed=1)
+        black = frame["race"] == "African-American"
+        assert frame["decile_score"][black].mean() > frame["decile_score"][~black].mean() + 0.5
+
+    def test_age_categories_consistent(self):
+        frame = generate_propublica()
+        for age, cat in zip(frame["age"], frame["age_cat"]):
+            if age < 25:
+                assert cat == "Less than 25"
+            elif age <= 45:
+                assert cat == "25 - 45"
+            else:
+                assert cat == "Greater than 45"
+
+    def test_decile_range(self):
+        frame = generate_propublica()
+        assert frame.col("decile_score").min() >= 1
+        assert frame.col("decile_score").max() <= 10
+
+
+class TestPayment:
+    def test_age_missing_more_for_women(self):
+        frame = generate_payment(seed=0)
+        rates = group_missing_rates(frame, "gender", "age")
+        assert rates["female"] > 2.0 * rates["male"]
+
+    def test_only_age_missing(self):
+        frame = generate_payment()
+        for column in frame.columns:
+            if column == "age":
+                assert frame.col(column).num_missing() > 0
+            else:
+                assert frame.col(column).num_missing() == 0
+
+    def test_label_balance(self):
+        frame = generate_payment()
+        counts = value_counts(frame, "offer_invoice", normalize=True)
+        assert counts["yes"] == pytest.approx(0.55, abs=0.03)
+
+    def test_spec_validates(self):
+        PAYMENT_SPEC.validate(generate_payment())
+
+
+class TestSpecs:
+    def test_adult_protected_attributes(self):
+        assert [p.column for p in ADULT_SPEC.protected_attributes] == ["race", "sex"]
+        assert ADULT_SPEC.default_protected == "race"
+
+    def test_group_dicts(self):
+        assert GERMANCREDIT_SPEC.privileged_groups() == [{"sex": 1.0}]
+        assert GERMANCREDIT_SPEC.unprivileged_groups() == [{"sex": 0.0}]
+
+    def test_label_binary(self):
+        frame = generate_ricci()
+        y = RICCI_SPEC.label_binary(frame)
+        assert set(np.unique(y)) == {0.0, 1.0}
+        assert y.sum() == (frame["promoted"] == "yes").sum()
+
+    def test_protected_binary(self):
+        frame = generate_ricci()
+        z = RICCI_SPEC.protected("race").binary_column(frame)
+        assert z.sum() == (frame["race"] == "White").sum()
+
+    def test_validate_catches_missing_column(self):
+        frame = generate_ricci().drop(["oral"])
+        with pytest.raises(ValueError, match="lacks feature"):
+            RICCI_SPEC.validate(frame)
+
+    def test_validate_catches_wrong_kind(self):
+        frame = generate_ricci().with_values("written", ["a"] * 118, kind="categorical")
+        with pytest.raises(ValueError, match="numeric"):
+            RICCI_SPEC.validate(frame)

@@ -1,0 +1,50 @@
+"""Shared fixtures for fairness tests: synthetic biased datasets."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import BinaryLabelDataset
+
+PRIV = [{"sex": 1.0}]
+UNPRIV = [{"sex": 0.0}]
+
+
+def make_biased_dataset(
+    seed=0,
+    n=600,
+    priv_fraction=0.5,
+    priv_base_rate=0.6,
+    unpriv_base_rate=0.3,
+    feature_shift=1.0,
+):
+    """Binary dataset where the favorable label and one feature correlate
+    with the protected attribute."""
+    rng = np.random.default_rng(seed)
+    sex = (rng.random(n) < priv_fraction).astype(np.float64)
+    rates = np.where(sex == 1.0, priv_base_rate, unpriv_base_rate)
+    labels = (rng.random(n) < rates).astype(np.float64)
+    x0 = rng.normal(labels * 2.0, 1.0)  # label-informative
+    x1 = rng.normal(sex * feature_shift, 1.0)  # group-informative
+    x2 = rng.normal(0.0, 1.0, n)  # noise
+    return BinaryLabelDataset(
+        features=np.column_stack([x0, x1, x2]),
+        labels=labels,
+        protected_attributes=sex,
+        protected_attribute_names=["sex"],
+        feature_names=["signal", "proxy", "noise"],
+    )
+
+
+@pytest.fixture
+def biased():
+    return make_biased_dataset()
+
+
+@pytest.fixture
+def priv_groups():
+    return PRIV
+
+
+@pytest.fixture
+def unpriv_groups():
+    return UNPRIV

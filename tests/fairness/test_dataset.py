@@ -1,0 +1,160 @@
+"""Unit tests for BinaryLabelDataset."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import BinaryLabelDataset
+
+from .conftest import PRIV, UNPRIV, make_biased_dataset
+
+
+def _tiny(**overrides):
+    defaults = dict(
+        features=np.array([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]),
+        labels=np.array([1.0, 0.0, 1.0]),
+        protected_attributes=np.array([1.0, 0.0, 1.0]),
+        protected_attribute_names=["sex"],
+    )
+    defaults.update(overrides)
+    return BinaryLabelDataset(**defaults)
+
+
+class TestConstruction:
+    def test_defaults(self):
+        ds = _tiny()
+        assert ds.num_instances == 3
+        assert (ds.instance_weights == 1.0).all()
+        assert ds.scores is None
+        assert ds.feature_names == ["f0", "f1"]
+
+    def test_protected_reshaped_to_2d(self):
+        ds = _tiny()
+        assert ds.protected_attributes.shape == (3, 1)
+
+    def test_label_outside_convention_rejected(self):
+        with pytest.raises(ValueError, match="outside"):
+            _tiny(labels=np.array([1.0, 2.0, 0.0]))
+
+    def test_same_favorable_unfavorable_rejected(self):
+        with pytest.raises(ValueError, match="differ"):
+            _tiny(favorable_label=1.0, unfavorable_label=1.0)
+
+    def test_length_mismatches_rejected(self):
+        with pytest.raises(ValueError):
+            _tiny(labels=np.array([1.0]))
+        with pytest.raises(ValueError):
+            _tiny(protected_attributes=np.array([1.0]))
+        with pytest.raises(ValueError):
+            _tiny(instance_weights=np.array([1.0]))
+        with pytest.raises(ValueError):
+            _tiny(scores=np.array([0.5]))
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            _tiny(instance_weights=np.array([1.0, -1.0, 1.0]))
+
+    def test_custom_label_convention(self):
+        ds = _tiny(
+            labels=np.array([2.0, 5.0, 2.0]),
+            favorable_label=2.0,
+            unfavorable_label=5.0,
+        )
+        assert list(ds.favorable_mask()) == [True, False, True]
+
+    def test_name_count_mismatch(self):
+        with pytest.raises(ValueError, match="names"):
+            _tiny(protected_attribute_names=["sex", "race"])
+
+
+class TestCopySubset:
+    def test_copy_is_independent(self):
+        ds = _tiny()
+        copy = ds.copy()
+        copy.features[0, 0] = 99.0
+        copy.instance_weights[0] = 7.0
+        assert ds.features[0, 0] == 1.0
+        assert ds.instance_weights[0] == 1.0
+
+    def test_subset_by_mask(self):
+        ds = _tiny()
+        sub = ds.subset(np.array([True, False, True]))
+        assert sub.num_instances == 2
+        assert list(sub.labels) == [1.0, 1.0]
+
+    def test_subset_by_indices(self):
+        ds = _tiny()
+        sub = ds.subset(np.array([2, 0]))
+        assert list(sub.features[:, 0]) == [5.0, 1.0]
+
+    def test_subset_carries_scores(self):
+        ds = _tiny(scores=np.array([0.9, 0.1, 0.8]))
+        sub = ds.subset(np.array([0, 2]))
+        assert list(sub.scores) == [0.9, 0.8]
+
+
+class TestPredictions:
+    def test_with_predictions_replaces_labels(self):
+        ds = _tiny()
+        pred = ds.with_predictions(labels=np.array([0.0, 0.0, 0.0]))
+        assert (pred.labels == 0.0).all()
+        assert (ds.labels == np.array([1.0, 0.0, 1.0])).all()
+
+    def test_with_predictions_sets_scores(self):
+        ds = _tiny()
+        pred = ds.with_predictions(scores=np.array([0.1, 0.2, 0.3]))
+        assert pred.scores[2] == 0.3
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            _tiny().with_predictions(labels=np.array([1.0]))
+
+
+class TestGroups:
+    def test_group_mask_simple(self):
+        ds = _tiny()
+        assert list(ds.group_mask(PRIV)) == [True, False, True]
+        assert list(ds.group_mask(UNPRIV)) == [False, True, False]
+
+    def test_group_mask_none_is_all(self):
+        assert _tiny().group_mask(None).all()
+
+    def test_group_mask_or_of_ands(self):
+        ds = BinaryLabelDataset(
+            features=np.zeros((4, 1)),
+            labels=np.array([1.0, 0.0, 1.0, 0.0]),
+            protected_attributes=np.array(
+                [[1.0, 1.0], [1.0, 0.0], [0.0, 1.0], [0.0, 0.0]]
+            ),
+            protected_attribute_names=["sex", "race"],
+        )
+        groups = [{"sex": 1.0, "race": 1.0}, {"sex": 0.0, "race": 0.0}]
+        assert list(ds.group_mask(groups)) == [True, False, False, True]
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(KeyError, match="available"):
+            _tiny().group_mask([{"age": 1.0}])
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            _tiny().group_mask([])
+        with pytest.raises(ValueError):
+            _tiny().group_mask([{}])
+
+
+class TestCompatibility:
+    def test_compatible_roundtrip(self):
+        ds = make_biased_dataset()
+        pred = ds.with_predictions(labels=ds.labels)
+        ds.validate_compatible(pred)  # should not raise
+
+    def test_row_count_mismatch(self):
+        a = make_biased_dataset(n=100)
+        b = make_biased_dataset(n=101)
+        with pytest.raises(ValueError, match="instances"):
+            a.validate_compatible(b)
+
+    def test_protected_value_mismatch(self):
+        a = make_biased_dataset(seed=1)
+        b = make_biased_dataset(seed=2)
+        with pytest.raises(ValueError, match="differ"):
+            a.validate_compatible(b)

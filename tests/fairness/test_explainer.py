@@ -1,0 +1,78 @@
+"""Unit tests for the metric text explainer."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    BinaryLabelDataset,
+    ClassificationMetric,
+    MetricTextExplainer,
+)
+
+from .conftest import PRIV, UNPRIV, make_biased_dataset
+
+
+def _metric(seed=0, di_target="biased"):
+    ds = make_biased_dataset(seed=seed, n=800)
+    if di_target == "fair":
+        pred = ds.with_predictions(labels=ds.labels)
+    else:
+        # bias predictions toward the privileged group
+        rng = np.random.default_rng(seed)
+        sex = ds.protected_column("sex")
+        labels = ((rng.random(800) < 0.3) | (sex == 1.0)).astype(float)
+        pred = ds.with_predictions(labels=labels)
+    return ClassificationMetric(ds, pred, UNPRIV, PRIV)
+
+
+class TestExplanations:
+    def test_accuracy_sentence_has_percentages(self):
+        text = MetricTextExplainer(_metric()).accuracy()
+        assert "Overall accuracy" in text
+        assert "%" in text
+
+    def test_disparate_impact_four_fifths_violation(self):
+        text = MetricTextExplainer(_metric()).disparate_impact()
+        assert "violates the four-fifths rule" in text
+
+    def test_disparate_impact_satisfied_for_perfect_predictions_on_mild_data(self):
+        ds = make_biased_dataset(n=800, priv_base_rate=0.5, unpriv_base_rate=0.45)
+        pred = ds.with_predictions(labels=ds.labels)
+        metric = ClassificationMetric(ds, pred, UNPRIV, PRIV)
+        text = MetricTextExplainer(metric).disparate_impact()
+        assert "satisfies the four-fifths rule" in text
+
+    def test_parity_direction_wording(self):
+        text = MetricTextExplainer(_metric()).statistical_parity_difference()
+        assert "fewer favorable predictions" in text
+
+    def test_equal_opportunity_sentence(self):
+        text = MetricTextExplainer(_metric()).equal_opportunity_difference()
+        assert "TPR gap" in text
+
+    def test_error_rate_sentence(self):
+        text = MetricTextExplainer(_metric()).error_rate_disparity()
+        assert "Error rates" in text
+
+    def test_theil_sentence(self):
+        text = MetricTextExplainer(_metric(di_target="fair")).theil_index()
+        assert "0.0000" in text
+
+    def test_explain_all_and_report(self):
+        explainer = MetricTextExplainer(_metric())
+        sentences = explainer.explain_all()
+        assert len(sentences) == 6
+        assert explainer.report().count("\n") == 5
+
+    def test_undefined_di_handled(self):
+        ds = make_biased_dataset(n=100)
+        pred = ds.with_predictions(labels=np.zeros(100))  # nobody favorable
+        metric = ClassificationMetric(ds, pred, UNPRIV, PRIV)
+        text = MetricTextExplainer(metric).disparate_impact()
+        assert "undefined" in text
+
+    def test_gap_phrase_small_vs_substantial(self):
+        assert "essentially no gap" in MetricTextExplainer._gap_phrase(0.001)
+        assert "small" in MetricTextExplainer._gap_phrase(0.02)
+        assert "substantial" in MetricTextExplainer._gap_phrase(0.2)
+        assert "privileged" in MetricTextExplainer._gap_phrase(0.2)

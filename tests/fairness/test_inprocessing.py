@@ -1,0 +1,84 @@
+"""Unit tests for in-processing interventions."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    AdversarialDebiasing,
+    ClassificationMetric,
+    PrejudiceRemover,
+)
+
+from .conftest import PRIV, UNPRIV, make_biased_dataset
+
+
+class TestAdversarialDebiasing:
+    def test_plain_mode_learns(self):
+        ds = make_biased_dataset(n=800)
+        model = AdversarialDebiasing(UNPRIV, PRIV, debias=False, seed=0).fit(ds)
+        pred = model.predict(ds)
+        accuracy = (pred.labels == ds.labels).mean()
+        assert accuracy > 0.7
+
+    def test_debiasing_reduces_disparate_impact_gap(self):
+        ds = make_biased_dataset(n=1500, feature_shift=2.5, seed=2)
+        plain = AdversarialDebiasing(UNPRIV, PRIV, debias=False, seed=0).fit(ds)
+        debiased = AdversarialDebiasing(
+            UNPRIV, PRIV, debias=True, adversary_loss_weight=0.5, seed=0
+        ).fit(ds)
+        m_plain = ClassificationMetric(ds, plain.predict(ds), UNPRIV, PRIV)
+        m_debiased = ClassificationMetric(ds, debiased.predict(ds), UNPRIV, PRIV)
+        gap = lambda m: abs(1.0 - m.disparate_impact())
+        assert gap(m_debiased) < gap(m_plain)
+
+    def test_seeded_determinism(self):
+        ds = make_biased_dataset(n=400)
+        a = AdversarialDebiasing(UNPRIV, PRIV, seed=11).fit(ds)
+        b = AdversarialDebiasing(UNPRIV, PRIV, seed=11).fit(ds)
+        assert np.allclose(a.coef_, b.coef_)
+
+    def test_prediction_carries_scores(self):
+        ds = make_biased_dataset(n=200)
+        pred = AdversarialDebiasing(UNPRIV, PRIV, seed=0).fit(ds).predict(ds)
+        assert pred.scores is not None
+        assert ((pred.scores >= 0) & (pred.scores <= 1)).all()
+
+    def test_predict_before_fit(self):
+        ds = make_biased_dataset(n=50)
+        with pytest.raises(RuntimeError):
+            AdversarialDebiasing(UNPRIV, PRIV).predict(ds)
+
+
+class TestPrejudiceRemover:
+    def test_eta_zero_is_plain_logistic(self):
+        ds = make_biased_dataset(n=600)
+        model = PrejudiceRemover(UNPRIV, PRIV, eta=0.0).fit(ds)
+        pred = model.predict(ds)
+        assert (pred.labels == ds.labels).mean() > 0.7
+
+    def test_large_eta_shrinks_parity_gap(self):
+        ds = make_biased_dataset(n=1200, feature_shift=2.5, seed=3)
+        plain = PrejudiceRemover(UNPRIV, PRIV, eta=0.0).fit(ds)
+        fair = PrejudiceRemover(UNPRIV, PRIV, eta=25.0).fit(ds)
+        gap = lambda model: abs(
+            ClassificationMetric(
+                ds, model.predict(ds), UNPRIV, PRIV
+            ).statistical_parity_difference()
+        )
+        assert gap(fair) < gap(plain)
+
+    def test_negative_eta_rejected(self):
+        with pytest.raises(ValueError):
+            PrejudiceRemover(UNPRIV, PRIV, eta=-1.0)
+
+    def test_single_group_training_data_rejected(self):
+        ds = make_biased_dataset(n=100)
+        ds.protected_attributes[:, 0] = 1.0
+        with pytest.raises(ValueError, match="both groups"):
+            PrejudiceRemover(UNPRIV, PRIV).fit(ds)
+
+    def test_deterministic(self):
+        ds = make_biased_dataset(n=300)
+        a = PrejudiceRemover(UNPRIV, PRIV, eta=1.0).fit(ds)
+        b = PrejudiceRemover(UNPRIV, PRIV, eta=1.0).fit(ds)
+        assert np.allclose(a.coef_, b.coef_)

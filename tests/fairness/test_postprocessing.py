@@ -1,0 +1,177 @@
+"""Unit tests for post-processing interventions."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    CalibratedEqOddsPostprocessing,
+    ClassificationMetric,
+    EqOddsPostprocessing,
+    RejectOptionClassification,
+)
+
+from .conftest import PRIV, UNPRIV, make_biased_dataset
+
+
+def _scored_predictions(seed=0, n=1500, noise=0.8):
+    """Dataset + biased scores correlated with label and group."""
+    ds = make_biased_dataset(seed=seed, n=n)
+    rng = np.random.default_rng(seed + 100)
+    sex = ds.protected_column("sex")
+    raw = 0.6 * ds.labels + 0.25 * sex + rng.normal(0.0, noise / 4.0, n)
+    scores = np.clip(raw, 0.01, 0.99)
+    labels = np.where(scores >= 0.5, 1.0, 0.0)
+    return ds, ds.with_predictions(labels=labels, scores=scores)
+
+
+class TestRejectOption:
+    def test_reduces_statistical_parity_gap(self):
+        ds_true, ds_pred = _scored_predictions()
+        before = ClassificationMetric(ds_true, ds_pred, UNPRIV, PRIV)
+        roc = RejectOptionClassification(
+            UNPRIV, PRIV, num_class_thresh=25, num_ROC_margin=25
+        )
+        adjusted = roc.fit_predict(ds_true, ds_pred)
+        after = ClassificationMetric(ds_true, adjusted, UNPRIV, PRIV)
+        assert abs(after.statistical_parity_difference()) < abs(
+            before.statistical_parity_difference()
+        )
+
+    def test_constraint_satisfied_when_feasible(self):
+        ds_true, ds_pred = _scored_predictions()
+        roc = RejectOptionClassification(
+            UNPRIV, PRIV, num_class_thresh=25, num_ROC_margin=25,
+            metric_ub=0.1, metric_lb=-0.1,
+        )
+        adjusted = roc.fit_predict(ds_true, ds_pred)
+        after = ClassificationMetric(ds_true, adjusted, UNPRIV, PRIV)
+        assert -0.1 <= after.statistical_parity_difference() <= 0.1
+
+    def test_predictions_outside_critical_region_follow_threshold(self):
+        ds_true, ds_pred = _scored_predictions(n=400)
+        roc = RejectOptionClassification(
+            UNPRIV, PRIV, num_class_thresh=10, num_ROC_margin=10
+        ).fit(ds_true, ds_pred)
+        adjusted = roc.predict(ds_pred)
+        outside = (
+            np.abs(ds_pred.scores - roc.classification_threshold_) > roc.ROC_margin_
+        )
+        expected = np.where(
+            ds_pred.scores[outside] > roc.classification_threshold_, 1.0, 0.0
+        )
+        assert np.array_equal(adjusted.labels[outside], expected)
+
+    def test_other_metric_names(self):
+        ds_true, ds_pred = _scored_predictions(n=500)
+        for name in ("Average odds difference", "Equal opportunity difference"):
+            roc = RejectOptionClassification(
+                UNPRIV, PRIV, num_class_thresh=8, num_ROC_margin=8, metric_name=name
+            )
+            assert roc.fit_predict(ds_true, ds_pred).num_instances == 500
+
+    def test_requires_scores(self):
+        ds_true, _ = _scored_predictions(n=100)
+        pred_without_scores = ds_true.with_predictions(labels=ds_true.labels)
+        roc = RejectOptionClassification(UNPRIV, PRIV)
+        with pytest.raises(ValueError, match="scores"):
+            roc.fit(ds_true, pred_without_scores)
+
+    def test_invalid_metric_name(self):
+        with pytest.raises(ValueError, match="metric_name"):
+            RejectOptionClassification(UNPRIV, PRIV, metric_name="nope")
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            RejectOptionClassification(UNPRIV, PRIV, low_class_thresh=0.9, high_class_thresh=0.2)
+
+    def test_predict_before_fit_raises(self):
+        _, ds_pred = _scored_predictions(n=100)
+        with pytest.raises(RuntimeError):
+            RejectOptionClassification(UNPRIV, PRIV).predict(ds_pred)
+
+
+class TestCalibratedEqOdds:
+    def test_mix_rates_in_unit_interval(self):
+        ds_true, ds_pred = _scored_predictions()
+        ceo = CalibratedEqOddsPostprocessing(UNPRIV, PRIV, seed=1).fit(ds_true, ds_pred)
+        assert 0.0 <= ceo.priv_mix_rate_ <= 1.0
+        assert 0.0 <= ceo.unpriv_mix_rate_ <= 1.0
+
+    def test_only_one_group_mixed(self):
+        ds_true, ds_pred = _scored_predictions()
+        ceo = CalibratedEqOddsPostprocessing(UNPRIV, PRIV, seed=1).fit(ds_true, ds_pred)
+        assert ceo.priv_mix_rate_ == 0.0 or ceo.unpriv_mix_rate_ == 0.0
+
+    def test_narrows_generalized_cost_gap(self):
+        ds_true, ds_pred = _scored_predictions(seed=3)
+        constraint = "fnr"
+        ceo = CalibratedEqOddsPostprocessing(
+            UNPRIV, PRIV, cost_constraint=constraint, seed=7
+        )
+        adjusted = ceo.fit_predict(ds_true, ds_pred)
+        y = ds_true.favorable_mask().astype(float)
+        priv = ds_true.group_mask(PRIV)
+
+        def gfnr(scores, mask):
+            pos = (y == 1.0) & mask
+            return float((1.0 - scores[pos]).mean())
+
+        before_gap = abs(gfnr(ds_pred.scores, priv) - gfnr(ds_pred.scores, ~priv))
+        after_gap = abs(gfnr(adjusted.scores, priv) - gfnr(adjusted.scores, ~priv))
+        assert after_gap < before_gap
+
+    def test_seed_reproducibility(self):
+        ds_true, ds_pred = _scored_predictions(n=600)
+        a = CalibratedEqOddsPostprocessing(UNPRIV, PRIV, seed=5).fit_predict(
+            ds_true, ds_pred
+        )
+        b = CalibratedEqOddsPostprocessing(UNPRIV, PRIV, seed=5).fit_predict(
+            ds_true, ds_pred
+        )
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_invalid_constraint(self):
+        with pytest.raises(ValueError, match="cost_constraint"):
+            CalibratedEqOddsPostprocessing(UNPRIV, PRIV, cost_constraint="tpr")
+
+    def test_requires_scores(self):
+        ds_true, _ = _scored_predictions(n=100)
+        bare = ds_true.with_predictions(labels=ds_true.labels)
+        with pytest.raises(ValueError, match="scores"):
+            CalibratedEqOddsPostprocessing(UNPRIV, PRIV).fit(ds_true, bare)
+
+    def test_predict_before_fit(self):
+        _, ds_pred = _scored_predictions(n=100)
+        with pytest.raises(RuntimeError):
+            CalibratedEqOddsPostprocessing(UNPRIV, PRIV).predict(ds_pred)
+
+
+class TestEqOdds:
+    def test_flip_probabilities_valid(self):
+        ds_true, ds_pred = _scored_predictions()
+        eq = EqOddsPostprocessing(UNPRIV, PRIV, seed=0).fit(ds_true, ds_pred)
+        for p in (eq.p2p_priv_, eq.n2p_priv_, eq.p2p_unpriv_, eq.n2p_unpriv_):
+            assert 0.0 - 1e-9 <= p <= 1.0 + 1e-9
+
+    def test_reduces_average_abs_odds(self):
+        ds_true, ds_pred = _scored_predictions(seed=4)
+        before = ClassificationMetric(ds_true, ds_pred, UNPRIV, PRIV)
+        results = []
+        for seed in range(5):
+            adjusted = EqOddsPostprocessing(UNPRIV, PRIV, seed=seed).fit_predict(
+                ds_true, ds_pred
+            )
+            after = ClassificationMetric(ds_true, adjusted, UNPRIV, PRIV)
+            results.append(after.average_abs_odds_difference())
+        assert np.mean(results) < before.average_abs_odds_difference()
+
+    def test_seeded_determinism(self):
+        ds_true, ds_pred = _scored_predictions(n=500)
+        a = EqOddsPostprocessing(UNPRIV, PRIV, seed=3).fit_predict(ds_true, ds_pred)
+        b = EqOddsPostprocessing(UNPRIV, PRIV, seed=3).fit_predict(ds_true, ds_pred)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_predict_before_fit(self):
+        _, ds_pred = _scored_predictions(n=100)
+        with pytest.raises(RuntimeError):
+            EqOddsPostprocessing(UNPRIV, PRIV).predict(ds_pred)

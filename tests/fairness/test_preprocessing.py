@@ -1,0 +1,163 @@
+"""Unit tests for reweighing and the disparate impact remover."""
+
+import numpy as np
+import pytest
+
+from repro.fairness import (
+    BinaryLabelDatasetMetric,
+    DisparateImpactRemover,
+    Reweighing,
+)
+
+from .conftest import PRIV, UNPRIV, make_biased_dataset
+
+
+class TestReweighing:
+    def test_weighted_parity_is_exactly_zero_after_transform(self):
+        ds = make_biased_dataset(n=800)
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        metric = BinaryLabelDatasetMetric(out, UNPRIV, PRIV)
+        assert metric.statistical_parity_difference() == pytest.approx(0.0, abs=1e-12)
+
+    def test_weighted_disparate_impact_is_one(self):
+        ds = make_biased_dataset(n=800)
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        metric = BinaryLabelDatasetMetric(out, UNPRIV, PRIV)
+        assert metric.disparate_impact() == pytest.approx(1.0, abs=1e-12)
+
+    def test_total_weight_preserved(self):
+        ds = make_biased_dataset(n=500)
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        assert out.instance_weights.sum() == pytest.approx(
+            ds.instance_weights.sum(), rel=1e-9
+        )
+
+    def test_features_and_labels_untouched(self):
+        ds = make_biased_dataset(n=300)
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        assert np.array_equal(out.features, ds.features)
+        assert np.array_equal(out.labels, ds.labels)
+
+    def test_unprivileged_positives_upweighted(self):
+        ds = make_biased_dataset(n=800, priv_base_rate=0.7, unpriv_base_rate=0.2)
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        unpriv_pos = ds.group_mask(UNPRIV) & ds.favorable_mask()
+        priv_pos = ds.group_mask(PRIV) & ds.favorable_mask()
+        assert out.instance_weights[unpriv_pos].mean() > 1.0
+        assert out.instance_weights[priv_pos].mean() < 1.0
+
+    def test_transform_applies_train_factors_to_new_data(self):
+        train = make_biased_dataset(seed=1, n=800)
+        test = make_biased_dataset(seed=2, n=200)
+        rw = Reweighing(UNPRIV, PRIV).fit(train)
+        out = rw.transform(test)
+        # factors come from train, so test weights are train-factor multiples
+        factors = set(np.round(list(rw.factors_.values()), 10))
+        observed = set(np.round(np.unique(out.instance_weights), 10))
+        assert observed <= factors
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            Reweighing(UNPRIV, PRIV).transform(make_biased_dataset(n=50))
+
+    def test_respects_existing_weights(self):
+        ds = make_biased_dataset(n=400)
+        ds.instance_weights[:] = 3.0
+        out = Reweighing(UNPRIV, PRIV).fit_transform(ds)
+        metric = BinaryLabelDatasetMetric(out, UNPRIV, PRIV)
+        assert metric.statistical_parity_difference() == pytest.approx(0.0, abs=1e-12)
+
+
+class TestDisparateImpactRemover:
+    def test_zero_repair_is_identity(self):
+        ds = make_biased_dataset(n=400, feature_shift=2.0)
+        out = DisparateImpactRemover(repair_level=0.0).fit_transform(ds)
+        assert np.allclose(out.features, ds.features)
+
+    def test_full_repair_aligns_group_distributions(self):
+        ds = make_biased_dataset(n=2000, feature_shift=3.0, seed=5)
+        out = DisparateImpactRemover(repair_level=1.0).fit_transform(ds)
+        sex = ds.protected_column("sex")
+        j = ds.feature_names.index("proxy")
+        priv_values = out.features[sex == 1.0, j]
+        unpriv_values = out.features[sex == 0.0, j]
+        # group medians should be nearly identical after full repair
+        assert abs(np.median(priv_values) - np.median(unpriv_values)) < 0.15
+        # before repair they were far apart
+        assert (
+            abs(
+                np.median(ds.features[sex == 1.0, j])
+                - np.median(ds.features[sex == 0.0, j])
+            )
+            > 2.0
+        )
+
+    def test_partial_repair_interpolates(self):
+        ds = make_biased_dataset(n=1000, feature_shift=3.0)
+        half = DisparateImpactRemover(repair_level=0.5).fit_transform(ds)
+        full = DisparateImpactRemover(repair_level=1.0).fit_transform(ds)
+        j = ds.feature_names.index("proxy")
+        sex = ds.protected_column("sex")
+        gap = lambda feats: abs(
+            np.median(feats[sex == 1.0, j]) - np.median(feats[sex == 0.0, j])
+        )
+        assert gap(full.features) < gap(half.features) < gap(ds.features)
+
+    def test_rank_order_preserved_within_group(self):
+        ds = make_biased_dataset(n=500, feature_shift=2.0)
+        out = DisparateImpactRemover(repair_level=1.0).fit_transform(ds)
+        sex = ds.protected_column("sex")
+        j = ds.feature_names.index("proxy")
+        for value in (0.0, 1.0):
+            original = ds.features[sex == value, j]
+            repaired = out.features[sex == value, j]
+            order = np.argsort(original, kind="mergesort")
+            diffs = np.diff(repaired[order])
+            assert (diffs >= -1e-9).all()
+
+    def test_labels_and_weights_untouched(self):
+        ds = make_biased_dataset(n=300)
+        out = DisparateImpactRemover(repair_level=1.0).fit_transform(ds)
+        assert np.array_equal(out.labels, ds.labels)
+        assert np.array_equal(out.instance_weights, ds.instance_weights)
+
+    def test_fit_on_train_transform_test_is_leak_free(self):
+        train = make_biased_dataset(seed=1, n=1000, feature_shift=3.0)
+        test = make_biased_dataset(seed=2, n=300, feature_shift=3.0)
+        remover = DisparateImpactRemover(repair_level=1.0).fit(train)
+        before = test.features.copy()
+        out = remover.transform(test)
+        # test features change, but train statistics drive the mapping
+        assert not np.allclose(out.features, before)
+        # refitting on test would give a (slightly) different mapping
+        refit = DisparateImpactRemover(repair_level=1.0).fit_transform(test)
+        assert not np.allclose(refit.features, out.features)
+
+    def test_features_to_repair_restriction(self):
+        ds = make_biased_dataset(n=400, feature_shift=3.0)
+        out = DisparateImpactRemover(
+            repair_level=1.0, features_to_repair=["proxy"]
+        ).fit_transform(ds)
+        j_noise = ds.feature_names.index("noise")
+        j_signal = ds.feature_names.index("signal")
+        assert np.allclose(out.features[:, j_noise], ds.features[:, j_noise])
+        assert np.allclose(out.features[:, j_signal], ds.features[:, j_signal])
+
+    def test_invalid_repair_level(self):
+        with pytest.raises(ValueError):
+            DisparateImpactRemover(repair_level=1.5)
+
+    def test_unknown_feature_rejected(self):
+        ds = make_biased_dataset(n=100)
+        with pytest.raises(KeyError):
+            DisparateImpactRemover(features_to_repair=["nope"]).fit(ds)
+
+    def test_single_group_rejected(self):
+        ds = make_biased_dataset(n=100)
+        ds.protected_attributes[:, 0] = 1.0
+        with pytest.raises(ValueError, match="single value"):
+            DisparateImpactRemover().fit(ds)
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError, match="fit"):
+            DisparateImpactRemover().transform(make_biased_dataset(n=50))

@@ -1,0 +1,230 @@
+"""Unit tests for repro.frame.dataframe."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    CATEGORICAL,
+    NUMERIC,
+    Column,
+    DataFrame,
+    concat_rows,
+    train_validation_test_masks,
+)
+
+
+@pytest.fixture
+def frame():
+    return DataFrame.from_dict(
+        {
+            "age": [25.0, None, 40.0, 31.0],
+            "job": ["clerk", "smith", None, "clerk"],
+            "income": [100.0, 200.0, 300.0, 400.0],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict_infers_kinds(self, frame):
+        assert frame.kinds() == {
+            "age": NUMERIC,
+            "job": CATEGORICAL,
+            "income": NUMERIC,
+        }
+
+    def test_from_dict_kind_override(self):
+        frame = DataFrame.from_dict({"zip": [10001, 10002]}, kinds={"zip": CATEGORICAL})
+        assert frame.col("zip").is_categorical
+
+    def test_from_rows(self):
+        frame = DataFrame.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame.shape == (2, 2)
+        assert list(frame["b"]) == ["x", "y"]
+
+    def test_from_rows_missing_key_becomes_missing_value(self):
+        frame = DataFrame.from_rows(
+            [{"a": 1.0, "b": "x"}, {"a": 2.0}], column_order=["a", "b"]
+        )
+        assert frame["b"][1] is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            DataFrame([Column.numeric("a", [1.0]), Column.numeric("b", [1.0, 2.0])])
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(ValueError, match="duplicate column names"):
+            DataFrame([Column.numeric("a", [1.0]), Column.numeric("a", [2.0])])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            DataFrame([])
+
+
+class TestBasics:
+    def test_shape(self, frame):
+        assert frame.shape == (4, 3)
+
+    def test_contains(self, frame):
+        assert "age" in frame
+        assert "nope" not in frame
+
+    def test_getitem_returns_values(self, frame):
+        assert frame["income"][2] == 300.0
+
+    def test_unknown_column_raises_keyerror_with_alternatives(self, frame):
+        with pytest.raises(KeyError, match="available"):
+            frame.col("salary")
+
+    def test_numeric_and_categorical_column_lists(self, frame):
+        assert frame.numeric_columns() == ["age", "income"]
+        assert frame.categorical_columns() == ["job"]
+
+
+class TestSelection:
+    def test_select_projects_and_orders(self, frame):
+        sub = frame.select(["income", "age"])
+        assert sub.columns == ["income", "age"]
+
+    def test_drop(self, frame):
+        assert frame.drop(["job"]).columns == ["age", "income"]
+
+    def test_drop_accepts_single_name(self, frame):
+        assert frame.drop("job").columns == ["age", "income"]
+
+    def test_drop_absent_raises(self, frame):
+        with pytest.raises(KeyError, match="absent"):
+            frame.drop(["nope"])
+
+    def test_take(self, frame):
+        sub = frame.take([3, 0])
+        assert list(sub["income"]) == [400.0, 100.0]
+
+    def test_mask(self, frame):
+        sub = frame.mask([True, False, False, True])
+        assert sub.num_rows == 2
+        assert list(sub["job"]) == ["clerk", "clerk"]
+
+    def test_head(self, frame):
+        assert frame.head(2).num_rows == 2
+
+    def test_head_larger_than_frame(self, frame):
+        assert frame.head(100).num_rows == 4
+
+
+class TestMutationByCopy:
+    def test_with_values_adds_column(self, frame):
+        out = frame.with_values("bonus", [1.0, 2.0, 3.0, 4.0])
+        assert "bonus" in out
+        assert "bonus" not in frame
+
+    def test_with_values_replaces_preserving_position(self, frame):
+        out = frame.with_values("age", [1.0, 2.0, 3.0, 4.0])
+        assert out.columns == frame.columns
+        assert list(out["age"]) == [1.0, 2.0, 3.0, 4.0]
+
+    def test_with_values_replacement_keeps_kind(self):
+        frame = DataFrame.from_dict({"code": ["1", "2"]}, kinds={"code": CATEGORICAL})
+        out = frame.with_values("code", [3, 4])
+        assert out.col("code").is_categorical
+
+    def test_with_column_length_mismatch_raises(self, frame):
+        with pytest.raises(ValueError, match="column length"):
+            frame.with_column(Column.numeric("z", [1.0]))
+
+    def test_rename(self, frame):
+        out = frame.rename({"job": "occupation"})
+        assert out.columns == ["age", "occupation", "income"]
+
+    def test_copy_is_deep_for_values(self, frame):
+        out = frame.copy()
+        out["income"][0] = -1.0
+        assert frame["income"][0] == 100.0
+
+
+class TestMissing:
+    def test_missing_mask_any_column(self, frame):
+        assert list(frame.missing_mask()) == [False, True, True, False]
+
+    def test_missing_mask_restricted_columns(self, frame):
+        assert list(frame.missing_mask(["age"])) == [False, True, False, False]
+
+    def test_dropna(self, frame):
+        out = frame.dropna()
+        assert out.num_rows == 2
+        assert list(out["income"]) == [100.0, 400.0]
+
+    def test_dropna_restricted(self, frame):
+        out = frame.dropna(["job"])
+        assert out.num_rows == 3
+
+    def test_num_incomplete_rows(self, frame):
+        assert frame.num_incomplete_rows() == 2
+
+
+class TestConversion:
+    def test_to_rows_roundtrip_shape(self, frame):
+        rows = frame.to_rows()
+        assert len(rows) == 4
+        assert rows[0]["job"] == "clerk"
+
+    def test_to_matrix_default_numeric(self, frame):
+        m = frame.to_matrix()
+        assert m.shape == (4, 2)
+
+    def test_to_matrix_on_categorical_raises(self, frame):
+        with pytest.raises(TypeError):
+            frame.to_matrix(["job"])
+
+    def test_to_matrix_empty_selection(self, frame):
+        m = frame.to_matrix([])
+        assert m.shape == (4, 0)
+
+    def test_equals(self, frame):
+        assert frame.equals(frame.copy())
+
+    def test_not_equals_after_edit(self, frame):
+        other = frame.with_values("income", [0.0, 0.0, 0.0, 0.0])
+        assert not frame.equals(other)
+
+
+class TestConcatRows:
+    def test_concat_stacks(self, frame):
+        merged = concat_rows([frame, frame])
+        assert merged.num_rows == 8
+
+    def test_concat_schema_mismatch(self, frame):
+        other = frame.select(["age", "income", "job"])
+        with pytest.raises(ValueError, match="schema mismatch"):
+            concat_rows([frame, other])
+
+    def test_concat_preserves_missing(self, frame):
+        merged = concat_rows([frame, frame])
+        assert merged["job"][2] is None and merged["job"][6] is None
+
+
+class TestSplitMasks:
+    def test_masks_partition_rows(self):
+        train, val, test = train_validation_test_masks(100, 0.7, 0.1, seed=7)
+        total = train.astype(int) + val.astype(int) + test.astype(int)
+        assert (total == 1).all()
+
+    def test_masks_sizes(self):
+        train, val, test = train_validation_test_masks(100, 0.7, 0.1, seed=7)
+        assert train.sum() == 70 and val.sum() == 10 and test.sum() == 20
+
+    def test_masks_deterministic_per_seed(self):
+        a = train_validation_test_masks(50, 0.7, 0.1, seed=3)
+        b = train_validation_test_masks(50, 0.7, 0.1, seed=3)
+        for x, y in zip(a, b):
+            assert (x == y).all()
+
+    def test_masks_vary_with_seed(self):
+        a = train_validation_test_masks(200, 0.7, 0.1, seed=1)[0]
+        b = train_validation_test_masks(200, 0.7, 0.1, seed=2)[0]
+        assert (a != b).any()
+
+    def test_invalid_fractions(self):
+        with pytest.raises(ValueError):
+            train_validation_test_masks(10, 0.9, 0.2, seed=0)
+        with pytest.raises(ValueError):
+            train_validation_test_masks(10, 0.0, 0.1, seed=0)

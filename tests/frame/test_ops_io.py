@@ -1,0 +1,149 @@
+"""Unit tests for repro.frame.ops and repro.frame.io."""
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    CATEGORICAL,
+    DataFrame,
+    MISSING_LABEL,
+    correlation_matrix,
+    crosstab,
+    describe,
+    group_missing_rates,
+    groupby_aggregate,
+    read_csv,
+    value_counts,
+    write_csv,
+)
+
+
+@pytest.fixture
+def frame():
+    return DataFrame.from_dict(
+        {
+            "race": ["white", "white", "nonwhite", "nonwhite", "white"],
+            "country": ["US", None, None, None, "US"],
+            "income": [10.0, 20.0, 30.0, None, 50.0],
+        }
+    )
+
+
+class TestValueCounts:
+    def test_counts(self, frame):
+        assert value_counts(frame, "race") == {"white": 3, "nonwhite": 2}
+
+    def test_normalized(self, frame):
+        counts = value_counts(frame, "race", normalize=True)
+        assert counts["white"] == pytest.approx(0.6)
+
+    def test_include_missing(self, frame):
+        counts = value_counts(frame, "country", include_missing=True)
+        assert counts[MISSING_LABEL] == 3
+
+
+class TestCrosstab:
+    def test_counts_and_missing_bucket(self, frame):
+        table = crosstab(frame, "race", "country")
+        assert table["white"]["US"] == 2
+        assert table["nonwhite"][MISSING_LABEL] == 2
+
+    def test_total_preserved(self, frame):
+        table = crosstab(frame, "race", "country")
+        total = sum(sum(inner.values()) for inner in table.values())
+        assert total == frame.num_rows
+
+
+class TestGroupby:
+    def test_groupby_mean(self, frame):
+        means = groupby_aggregate(frame, "race", "income", lambda a: float(np.mean(a)))
+        assert means["white"] == pytest.approx((10 + 20 + 50) / 3)
+        assert means["nonwhite"] == pytest.approx(30.0)
+
+    def test_group_missing_rates_reproduces_disparity(self, frame):
+        rates = group_missing_rates(frame, "race", "country")
+        assert rates["nonwhite"] == 1.0
+        assert rates["white"] == pytest.approx(1 / 3)
+
+
+class TestDescribe:
+    def test_numeric_summary(self, frame):
+        info = describe(frame)["income"]
+        assert info["kind"] == "numeric"
+        assert info["count"] == 4
+        assert info["missing"] == 1
+        assert info["min"] == 10.0
+
+    def test_categorical_summary(self, frame):
+        info = describe(frame)["race"]
+        assert info["mode"] == "white"
+        assert info["distinct"] == 2
+
+    def test_column_restriction(self, frame):
+        assert set(describe(frame, ["race"]).keys()) == {"race"}
+
+
+class TestCorrelation:
+    def test_perfectly_correlated(self):
+        frame = DataFrame.from_dict({"a": [1.0, 2.0, 3.0], "b": [2.0, 4.0, 6.0]})
+        names, matrix = correlation_matrix(frame)
+        assert names == ["a", "b"]
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_pairwise_complete_handling(self):
+        frame = DataFrame.from_dict(
+            {"a": [1.0, 2.0, 3.0, None], "b": [2.0, 4.0, 6.0, 100.0]}
+        )
+        _, matrix = correlation_matrix(frame)
+        assert matrix[0, 1] == pytest.approx(1.0)
+
+    def test_zero_variance_is_nan(self):
+        frame = DataFrame.from_dict({"a": [1.0, 1.0], "b": [2.0, 3.0]})
+        _, matrix = correlation_matrix(frame)
+        assert np.isnan(matrix[0, 1])
+
+
+class TestCsvRoundTrip:
+    def test_roundtrip_preserves_frame(self, frame, tmp_path):
+        path = str(tmp_path / "data.csv")
+        write_csv(frame, path)
+        loaded = read_csv(path)
+        assert loaded.equals(frame)
+
+    def test_missing_values_roundtrip(self, frame, tmp_path):
+        path = str(tmp_path / "data.csv")
+        write_csv(frame, path)
+        loaded = read_csv(path)
+        assert loaded["country"][1] is None
+        assert np.isnan(loaded["income"][3])
+
+    def test_kind_override_on_read(self, tmp_path):
+        path = str(tmp_path / "codes.csv")
+        frame = DataFrame.from_dict({"code": ["1", "2"]}, kinds={"code": CATEGORICAL})
+        write_csv(frame, path)
+        loaded = read_csv(path, kinds={"code": CATEGORICAL})
+        assert loaded.col("code").is_categorical
+
+    def test_numeric_columns_hint(self, tmp_path):
+        path = str(tmp_path / "data.csv")
+        write_csv(DataFrame.from_dict({"x": [1.0, 2.0]}), path)
+        loaded = read_csv(path, numeric_columns=["x"])
+        assert loaded.col("x").is_numeric
+
+    def test_empty_csv_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty CSV"):
+            read_csv(str(path))
+
+    def test_header_only_raises(self, tmp_path):
+        path = tmp_path / "header.csv"
+        path.write_text("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            read_csv(str(path))
+
+    def test_ragged_row_raises(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="fields"):
+            read_csv(str(path))

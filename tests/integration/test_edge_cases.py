@@ -1,0 +1,250 @@
+"""Edge-case and failure-injection tests across module boundaries.
+
+These exercise the degenerate situations a long-running study will
+eventually hit — empty groups in a split, all-missing columns, single-class
+folds, unseen categories at test time — and pin down that the stack either
+produces NaN metrics gracefully or fails with an actionable message.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DIRemover,
+    DatawigImputer,
+    Experiment,
+    Featurizer,
+    LogisticRegression,
+    ModeImputer,
+    ReweighingPreProcessor,
+)
+from repro.datasets import DatasetSpec, ProtectedAttribute, load_dataset
+from repro.fairness import (
+    BinaryLabelDataset,
+    ClassificationMetric,
+    Reweighing,
+)
+from repro.frame import DataFrame
+from repro.learn import GridSearchCV, SGDClassifier, StandardScaler
+
+
+def _tiny_spec():
+    return DatasetSpec(
+        name="tiny",
+        label_column="label",
+        favorable_value="yes",
+        numeric_features=("x",),
+        categorical_features=("color",),
+        protected_attributes=(
+            ProtectedAttribute(column="group", privileged_values=("p",)),
+        ),
+    )
+
+
+def _tiny_frame(n=120, seed=0, priv_fraction=0.5):
+    rng = np.random.default_rng(seed)
+    group = np.where(rng.random(n) < priv_fraction, "p", "u")
+    x = rng.normal(loc=(group == "p") * 1.0, scale=1.0)
+    label = np.where(x + rng.normal(0, 0.5, n) > 0.5, "yes", "no")
+    color = rng.choice(["red", "blue"], size=n)
+    return DataFrame.from_dict(
+        {"x": x, "color": color, "group": group, "label": label}
+    )
+
+
+class TestEmptyGroupHandling:
+    def test_metrics_with_empty_unprivileged_group_are_nan_not_crash(self):
+        ds = BinaryLabelDataset(
+            features=np.random.default_rng(0).normal(size=(20, 2)),
+            labels=np.tile([1.0, 0.0], 10),
+            protected_attributes=np.ones(20),  # everyone privileged
+            protected_attribute_names=["sex"],
+        )
+        pred = ds.with_predictions(labels=ds.labels)
+        metric = ClassificationMetric(ds, pred, [{"sex": 0.0}], [{"sex": 1.0}])
+        measures = metric.performance_measures(privileged=False)
+        assert np.isnan(measures["accuracy"])
+        bundle = metric.all_metrics()
+        assert np.isnan(bundle["group__statistical_parity_difference"])
+
+    def test_experiment_with_vanishing_group_in_test_split(self):
+        # unprivileged group so rare the 20% test split may not contain it
+        frame = _tiny_frame(n=80, priv_fraction=0.97, seed=3)
+        spec = _tiny_spec()
+        result = Experiment(
+            frame, spec, random_seed=0, learner=LogisticRegression(tuned=False)
+        ).run()
+        assert "overall__accuracy" in result.test_metrics  # run completes
+
+
+class TestReweighingDegenerate:
+    def test_empty_cell_gets_neutral_factor(self):
+        # no unprivileged positives at all
+        ds = BinaryLabelDataset(
+            features=np.zeros((8, 1)),
+            labels=np.array([1, 1, 1, 1, 0, 0, 0, 0], dtype=float),
+            protected_attributes=np.array([1, 1, 1, 1, 1, 0, 0, 0], dtype=float),
+            protected_attribute_names=["sex"],
+        )
+        rw = Reweighing([{"sex": 0.0}], [{"sex": 1.0}]).fit(ds)
+        assert rw.factors_[(False, True)] == 1.0  # empty cell: neutral
+        out = rw.transform(ds)
+        assert np.isfinite(out.instance_weights).all()
+
+
+class TestDIRemoverDegenerate:
+    def test_unseen_group_value_keeps_original_features(self):
+        frame = _tiny_frame(n=200, seed=1)
+        spec = _tiny_spec()
+        featurizer = Featurizer(spec, StandardScaler()).fit(frame)
+        data = featurizer.transform(frame)
+        remover = DIRemover(repair_level=1.0).fit(
+            data, featurizer.privileged_groups, featurizer.unprivileged_groups, 0
+        )
+        # fabricate rows whose protected value was never seen during fit
+        alien = data.copy()
+        alien.protected_attributes[:, 0] = 7.0
+        out = remover.transform_eval(alien)
+        assert np.allclose(out.features, alien.features)
+
+    def test_constant_feature_survives_repair(self):
+        rng = np.random.default_rng(0)
+        sex = (rng.random(100) < 0.5).astype(float)
+        ds = BinaryLabelDataset(
+            features=np.column_stack([np.full(100, 3.0), rng.normal(size=100)]),
+            labels=(rng.random(100) < 0.5).astype(float),
+            protected_attributes=sex,
+            protected_attribute_names=["sex"],
+        )
+        from repro.fairness import DisparateImpactRemover
+
+        out = DisparateImpactRemover(repair_level=1.0).fit_transform(ds)
+        assert np.allclose(out.features[:, 0], 3.0)
+
+
+class TestImputerDegenerate:
+    def test_all_missing_column_falls_back(self):
+        frame = DataFrame.from_dict(
+            {
+                "a": [None] * 10,
+                "b": ["x", "y"] * 5,
+                "label": ["yes", "no"] * 5,
+            },
+            kinds={"a": "numeric"},
+        )
+        imputer = DatawigImputer().fit(frame, ["a", "b"], seed=0)
+        out = imputer.handle_missing(frame)
+        assert out.col("a").num_missing() == 0
+
+    def test_single_observed_category_falls_back_to_mode(self):
+        frame = DataFrame.from_dict(
+            {
+                "a": ["only", None, "only", None, "only", "only"],
+                "b": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+                "label": ["yes", "no"] * 3,
+            }
+        )
+        imputer = DatawigImputer(target_columns=["a"]).fit(frame, ["a", "b"], seed=0)
+        out = imputer.handle_missing(frame)
+        assert set(out["a"]) == {"only"}
+
+    def test_mode_imputer_all_missing_numeric_uses_zero(self):
+        frame = DataFrame.from_dict(
+            {"a": [None, None], "label": ["yes", "no"]}, kinds={"a": "numeric"}
+        )
+        imputer = ModeImputer().fit(frame, ["a"], seed=0)
+        out = imputer.handle_missing(frame)
+        assert (out["a"] == 0.0).all()
+
+
+class TestUnseenCategoriesAtTestTime:
+    def test_lifecycle_handles_novel_test_category(self):
+        # training split lacks a category that appears only in later rows;
+        # the reserved unseen dimension must absorb it
+        frame = _tiny_frame(n=200, seed=5)
+        rare = frame.with_values(
+            "color", ["green" if i >= 190 else c for i, c in enumerate(frame["color"])]
+        )
+        result = Experiment(
+            rare, _tiny_spec(), random_seed=0, learner=LogisticRegression(tuned=False)
+        ).run()
+        assert np.isfinite(result.test_metrics["overall__accuracy"])
+
+
+class TestGridSearchDegenerate:
+    def test_constant_fold_scores_still_select_a_candidate(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(30, 2))
+        y = np.array([0, 1] * 15)
+        search = GridSearchCV(
+            SGDClassifier(max_iter=1, random_state=0),
+            {"alpha": [0.1, 0.2]},
+            cv=3,
+            random_state=0,
+        ).fit(X, y)
+        assert search.best_params_["alpha"] in (0.1, 0.2)
+
+
+class TestSpecValidationErrors:
+    def test_non_binary_label_rejected(self):
+        frame = _tiny_frame().with_values(
+            "label", ["yes", "no", "maybe"] * 40
+        )
+        with pytest.raises(ValueError, match="binary"):
+            _tiny_spec().validate(frame)
+
+    def test_missing_favorable_value_rejected(self):
+        frame = _tiny_frame().with_values("label", ["a", "b"] * 60)
+        with pytest.raises(ValueError, match="favorable"):
+            _tiny_spec().validate(frame)
+
+    def test_overlapping_feature_lists_rejected(self):
+        with pytest.raises(ValueError, match="both"):
+            DatasetSpec(
+                name="bad",
+                label_column="label",
+                favorable_value="yes",
+                numeric_features=("x",),
+                categorical_features=("x",),
+                protected_attributes=(
+                    ProtectedAttribute(column="g", privileged_values=("p",)),
+                ),
+            )
+
+    def test_label_as_feature_rejected(self):
+        with pytest.raises(ValueError, match="label column"):
+            DatasetSpec(
+                name="bad",
+                label_column="x",
+                favorable_value="yes",
+                numeric_features=("x",),
+                categorical_features=(),
+                protected_attributes=(
+                    ProtectedAttribute(column="g", privileged_values=("p",)),
+                ),
+            )
+
+
+class TestProtectedAttributeOverride:
+    def test_adult_sex_instead_of_race(self):
+        frame, spec = load_dataset("adult", n=2000)
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LogisticRegression(tuned=False),
+            missing_value_handler=ModeImputer(),
+            protected_attribute="sex",
+        ).run()
+        assert result.components["protected_attribute"] == "sex"
+
+    def test_unknown_protected_attribute_rejected(self):
+        frame, spec = load_dataset("ricci")
+        with pytest.raises(KeyError):
+            Experiment(
+                frame,
+                spec,
+                random_seed=0,
+                learner=LogisticRegression(tuned=False),
+                protected_attribute="age",
+            ).run()

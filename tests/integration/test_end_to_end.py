@@ -1,0 +1,168 @@
+"""End-to-end integration tests: datasets → lifecycle → figures.
+
+These run miniature versions of the paper's studies and assert both the
+plumbing (every combination executes, results are well-formed) and the
+headline shapes on small budgets where they are stable.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    figure2_series,
+    figure3_series,
+    figure4_series,
+    figure5_series,
+    render_figure2,
+    render_figure3,
+)
+from repro.core import (
+    CalibratedEqOddsPostProcessor,
+    CompleteCaseAnalysis,
+    DIRemover,
+    DatawigImputer,
+    DecisionTree,
+    Experiment,
+    GridSpec,
+    LogisticRegression,
+    ModeImputer,
+    NoIntervention,
+    RejectOptionPostProcessor,
+    ReweighingPreProcessor,
+    run_grid,
+)
+from repro.datasets import load_dataset
+from repro.learn import NoOpScaler, StandardScaler
+
+LR_FAST = lambda: LogisticRegression(tuned=False)
+LR_SMALL = lambda: LogisticRegression(
+    tuned=True, param_grid={"penalty": ["l2"], "alpha": [0.001, 0.01]}, cv=3
+)
+DT_FAST = lambda: DecisionTree(tuned=False)
+
+
+class TestEveryDatasetRuns:
+    @pytest.mark.parametrize(
+        "name,size",
+        [("germancredit", None), ("ricci", None), ("propublica", 1500), ("payment", 1200)],
+    )
+    def test_lifecycle_on_each_complete_or_imputable_dataset(self, name, size):
+        frame, spec = load_dataset(name, n=size)
+        handler = (
+            DatawigImputer() if frame.missing_mask(spec.feature_columns).any() else None
+        )
+        result = Experiment(
+            frame,
+            spec,
+            random_seed=0,
+            learner=LR_FAST(),
+            missing_value_handler=handler,
+        ).run()
+        assert 0.0 <= result.test_metrics["overall__accuracy"] <= 1.0
+
+    def test_adult_with_each_missing_strategy(self):
+        frame, spec = load_dataset("adult", n=2500)
+        for handler in (CompleteCaseAnalysis(), ModeImputer(), DatawigImputer()):
+            result = Experiment(
+                frame,
+                spec,
+                random_seed=1,
+                learner=LR_FAST(),
+                missing_value_handler=handler,
+            ).run()
+            assert result.test_metrics["overall__accuracy"] > 0.6
+
+
+class TestInterventionMatrix:
+    """Every intervention family × both baseline learners executes."""
+
+    @pytest.mark.parametrize(
+        "intervention",
+        [
+            NoIntervention,
+            ReweighingPreProcessor,
+            lambda: DIRemover(0.5),
+            lambda: DIRemover(1.0),
+            lambda: RejectOptionPostProcessor(num_class_thresh=8, num_ROC_margin=8),
+            lambda: CalibratedEqOddsPostProcessor(),
+        ],
+        ids=["none", "reweighing", "di-0.5", "di-1.0", "reject", "cal-eq-odds"],
+    )
+    @pytest.mark.parametrize("learner", [LR_FAST, DT_FAST], ids=["lr", "dt"])
+    def test_combination_runs(self, intervention, learner):
+        grid = GridSpec(seeds=[0], learners=[learner], interventions=[intervention])
+        results = run_grid("germancredit", grid)
+        assert len(results) == 1
+        assert np.isfinite(results[0].test_metrics["overall__accuracy"])
+
+
+class TestFigurePipelines:
+    def test_figure2_pipeline_structure(self):
+        grid = GridSpec(
+            seeds=[0, 1],
+            learners=[LR_FAST, LR_SMALL],
+            interventions=[NoIntervention, lambda: DIRemover(0.5)],
+        )
+        results = run_grid("germancredit", grid)
+        panels = figure2_series(results)
+        assert ("LogisticRegression", "no intervention", "DI") in panels
+        assert ("LogisticRegression", "DIRemover(0.5)", "FNRD") in panels
+        text = render_figure2(panels)
+        assert "var_ratio" in text
+
+    def test_figure3_pipeline_reproduces_scaling_failure(self):
+        grid = GridSpec(
+            seeds=[0, 1, 2, 3],
+            learners=[LR_SMALL, DT_FAST],
+            scalers=[lambda: StandardScaler(), lambda: NoOpScaler()],
+        )
+        results = run_grid("ricci", grid)
+        panels = figure3_series(results)
+        lr = panels[("LogisticRegression", "no intervention")]["summary"]
+        dt = panels[("DecisionTree", "no intervention")]["summary"]
+        # the paper's Figure 3 shape: unscaled LR visibly degrades, trees don't
+        assert lr["unscaled_accuracy"]["mean"] < lr["scaled_accuracy"]["mean"]
+        assert lr["unscaled_failure_rate"] > 0.0
+        assert abs(dt["unscaled_accuracy"]["mean"] - dt["scaled_accuracy"]["mean"]) < 0.1
+        assert "fail_rate" in render_figure3(panels)
+
+    def test_figure4_pipeline_imputed_records_classified(self):
+        grid = GridSpec(
+            seeds=[0, 1],
+            learners=[LR_FAST],
+            missing_value_handlers=[lambda: ModeImputer(), lambda: DatawigImputer()],
+        )
+        results = run_grid("adult", grid, dataset_size=2500)
+        panels = figure4_series(results)
+        assert len(panels) == 2  # one per strategy
+        for panel in panels.values():
+            assert panel["summary"]["imputed_accuracy"]["count"] == 2
+            # imputed records are classifiable at all (the paper's headline)
+            assert panel["summary"]["imputed_accuracy"]["mean"] > 0.6
+
+    def test_figure5_pipeline_conditions_present(self):
+        grid = GridSpec(
+            seeds=[0],
+            learners=[LR_FAST],
+            missing_value_handlers=[
+                lambda: CompleteCaseAnalysis(),
+                lambda: DatawigImputer(),
+            ],
+        )
+        results = run_grid("adult", grid, dataset_size=2500)
+        panels = figure5_series(results)
+        panel = panels[("LogisticRegression", "no intervention")]
+        assert len(panel["complete case"]["accuracy"]) == 1
+        assert len(panel["imputed"]["accuracy"]) == 1
+
+
+class TestGridReproducibility:
+    def test_same_grid_same_results(self):
+        grid = GridSpec(
+            seeds=[4, 5],
+            learners=[LR_FAST],
+            interventions=[NoIntervention, ReweighingPreProcessor],
+        )
+        a = run_grid("germancredit", grid)
+        b = run_grid("germancredit", grid)
+        assert [r.to_json() for r in a] == [r.to_json() for r in b]

@@ -1,0 +1,114 @@
+"""Unit tests for the alternative categorical encoders."""
+
+import numpy as np
+import pytest
+
+from repro.learn import FrequencyEncoder, SVDEmbeddingEncoder, TargetEncoder
+
+
+def _cols(*columns):
+    return [np.asarray(c, dtype=object) for c in columns]
+
+
+class TestFrequencyEncoder:
+    def test_frequencies_from_fit_data(self):
+        encoder = FrequencyEncoder().fit(_cols(["a", "a", "a", "b"]))
+        out = encoder.transform(_cols(["a", "b"]))
+        assert out[0, 0] == 0.75
+        assert out[1, 0] == 0.25
+
+    def test_unseen_category_is_zero(self):
+        encoder = FrequencyEncoder().fit(_cols(["a", "b"]))
+        assert encoder.transform(_cols(["z"]))[0, 0] == 0.0
+
+    def test_one_dimension_per_feature(self):
+        encoder = FrequencyEncoder().fit(_cols(["a", "b"], ["x", "x"]))
+        assert encoder.transform(_cols(["a", "b"], ["x", "y"])).shape == (2, 2)
+
+    def test_missing_bucketed(self):
+        encoder = FrequencyEncoder().fit(_cols(["a", None, None, "a"]))
+        out = encoder.transform(_cols([None]))
+        assert out[0, 0] == 0.5
+
+    def test_width_mismatch(self):
+        encoder = FrequencyEncoder().fit(_cols(["a"]))
+        with pytest.raises(ValueError, match="features"):
+            encoder.transform(_cols(["a"], ["b"]))
+
+    def test_feature_names(self):
+        encoder = FrequencyEncoder().fit(_cols(["a"]))
+        assert encoder.feature_names(["job"]) == ["job:frequency"]
+
+
+class TestTargetEncoder:
+    def test_unsmoothed_means(self):
+        encoder = TargetEncoder(smoothing=0.0).fit(
+            _cols(["a", "a", "b", "b"]), y=[1.0, 1.0, 0.0, 1.0]
+        )
+        out = encoder.transform(_cols(["a", "b"]))
+        assert out[0, 0] == 1.0
+        assert out[1, 0] == 0.5
+
+    def test_smoothing_pulls_to_global_rate(self):
+        y = [1.0, 0.0, 0.0, 0.0]  # global rate 0.25; 'a' has rate 1.0 on 1 row
+        encoder = TargetEncoder(smoothing=100.0).fit(_cols(["a", "b", "b", "b"]), y=y)
+        out = encoder.transform(_cols(["a"]))
+        assert abs(out[0, 0] - 0.25) < 0.01
+
+    def test_unseen_gets_global_rate(self):
+        encoder = TargetEncoder(smoothing=0.0).fit(_cols(["a", "b"]), y=[1.0, 0.0])
+        assert encoder.transform(_cols(["z"]))[0, 0] == 0.5
+
+    def test_requires_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            TargetEncoder().fit(_cols(["a"]))
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError, match="length"):
+            TargetEncoder().fit(_cols(["a", "b"]), y=[1.0])
+
+    def test_negative_smoothing_rejected(self):
+        with pytest.raises(ValueError):
+            TargetEncoder(smoothing=-1.0)
+
+    def test_statistics_never_from_transform_data(self):
+        encoder = TargetEncoder(smoothing=0.0).fit(
+            _cols(["a", "a"]), y=[1.0, 1.0]
+        )
+        # transform with contradictory data: table must still say 1.0
+        assert encoder.transform(_cols(["a", "a", "a"]))[0, 0] == 1.0
+
+
+class TestSVDEmbeddingEncoder:
+    def test_output_width_capped_by_rank(self):
+        encoder = SVDEmbeddingEncoder(n_components=50).fit(_cols(["a", "b", "a"]))
+        out = encoder.transform(_cols(["a", "b"]))
+        assert out.shape[0] == 2
+        assert out.shape[1] <= 3  # one-hot width caps the rank
+
+    def test_requested_components_respected_when_possible(self):
+        columns = _cols(["a", "b", "c", "d", "a", "b"], ["x", "y", "x", "y", "x", "y"])
+        encoder = SVDEmbeddingEncoder(n_components=2).fit(columns)
+        assert encoder.transform(columns).shape == (6, 2)
+
+    def test_identical_categories_map_to_identical_embeddings(self):
+        columns = _cols(["a", "b", "a", "b"])
+        encoder = SVDEmbeddingEncoder(n_components=2).fit(columns)
+        out = encoder.transform(columns)
+        assert np.allclose(out[0], out[2])
+        assert not np.allclose(out[0], out[1])
+
+    def test_unseen_category_does_not_crash(self):
+        encoder = SVDEmbeddingEncoder(n_components=2).fit(_cols(["a", "b"]))
+        out = encoder.transform(_cols(["z"]))
+        assert np.isfinite(out).all()
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            SVDEmbeddingEncoder(n_components=0)
+
+    def test_feature_names(self):
+        encoder = SVDEmbeddingEncoder(n_components=2).fit(_cols(["a", "b", "c"]))
+        names = encoder.feature_names()
+        assert names[0] == "embedding_0"
+        assert len(names) == encoder.components_.shape[0]

@@ -1,0 +1,117 @@
+"""Unit tests for accuracy-oriented metrics."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    accuracy_score,
+    balanced_accuracy_score,
+    binary_counts,
+    brier_score,
+    confusion_matrix,
+    f1_score,
+    log_loss,
+    precision_score,
+    recall_score,
+    roc_auc_score,
+)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy_score([1, 0, 1], [1, 0, 1]) == 1.0
+
+    def test_half(self):
+        assert accuracy_score([1, 0], [1, 1]) == 0.5
+
+    def test_weighted(self):
+        acc = accuracy_score([1, 0], [1, 1], sample_weight=[3.0, 1.0])
+        assert acc == pytest.approx(0.75)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy_score([1, 0], [1])
+
+
+class TestConfusionMatrix:
+    def test_binary_layout(self):
+        m = confusion_matrix([1, 1, 0, 0], [1, 0, 0, 1], labels=[0, 1])
+        # rows true, cols predicted
+        assert m[0, 0] == 1 and m[0, 1] == 1 and m[1, 0] == 1 and m[1, 1] == 1
+
+    def test_weights(self):
+        m = confusion_matrix([1, 1], [1, 1], labels=[0, 1], sample_weight=[2.0, 3.0])
+        assert m[1, 1] == 5.0
+
+    def test_label_outside_set_raises(self):
+        with pytest.raises(ValueError, match="outside"):
+            confusion_matrix([2], [2], labels=[0, 1])
+
+    def test_counts_identities(self):
+        y_true = [1, 1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0, 1]
+        c = binary_counts(y_true, y_pred, positive_label=1)
+        assert c["TP"] == 2 and c["FN"] == 1 and c["TN"] == 1 and c["FP"] == 1
+        assert c["TP"] + c["FN"] + c["TN"] + c["FP"] == len(y_true)
+
+
+class TestPRF:
+    def test_precision_recall_f1(self):
+        y_true = [1, 1, 0, 0]
+        y_pred = [1, 0, 1, 0]
+        assert precision_score(y_true, y_pred) == 0.5
+        assert recall_score(y_true, y_pred) == 0.5
+        assert f1_score(y_true, y_pred) == 0.5
+
+    def test_no_predicted_positives_gives_nan_precision(self):
+        assert np.isnan(precision_score([1, 0], [0, 0]))
+
+    def test_no_actual_positives_gives_nan_recall(self):
+        assert np.isnan(recall_score([0, 0], [1, 0]))
+
+    def test_balanced_accuracy(self):
+        y_true = [1, 1, 1, 0]
+        y_pred = [1, 1, 0, 0]
+        # TPR = 2/3, TNR = 1
+        assert balanced_accuracy_score(y_true, y_pred) == pytest.approx((2 / 3 + 1) / 2)
+
+
+class TestAuc:
+    def test_perfect_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == 1.0
+
+    def test_reverse_ranking(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == 0.0
+
+    def test_random_ties(self):
+        assert roc_auc_score([0, 1], [0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_nan(self):
+        assert np.isnan(roc_auc_score([1, 1], [0.2, 0.9]))
+
+    def test_matches_pair_counting(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, 50)
+        s = rng.normal(size=50)
+        pos = s[y == 1]
+        neg = s[y == 0]
+        pairs = sum(
+            1.0 if p > q else (0.5 if p == q else 0.0) for p in pos for q in neg
+        )
+        expected = pairs / (len(pos) * len(neg))
+        assert roc_auc_score(y, s) == pytest.approx(expected)
+
+
+class TestProbMetrics:
+    def test_log_loss_confident_correct_is_small(self):
+        assert log_loss([1, 0], [0.99, 0.01]) < 0.05
+
+    def test_log_loss_accepts_two_column_proba(self):
+        proba = np.array([[0.1, 0.9], [0.8, 0.2]])
+        assert log_loss([1, 0], proba) < 0.3
+
+    def test_brier_perfect(self):
+        assert brier_score([1, 0], [1.0, 0.0]) == 0.0
+
+    def test_brier_worst(self):
+        assert brier_score([1, 0], [0.0, 1.0]) == 1.0

@@ -1,0 +1,171 @@
+"""Unit tests for scalers and encoders."""
+
+import numpy as np
+import pytest
+
+from repro.learn import (
+    MISSING_CATEGORY,
+    LabelEncoder,
+    MinMaxScaler,
+    NoOpScaler,
+    OneHotEncoder,
+    StandardScaler,
+)
+
+
+class TestStandardScaler:
+    def test_zero_mean_unit_variance(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(5.0, 3.0, size=(200, 3))
+        Z = StandardScaler().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_statistics_come_from_fit_data_only(self):
+        scaler = StandardScaler().fit(np.array([[0.0], [2.0]]))
+        out = scaler.transform(np.array([[4.0]]))
+        assert out[0, 0] == pytest.approx((4.0 - 1.0) / 1.0)
+
+    def test_constant_feature_not_divided_by_zero(self):
+        Z = StandardScaler().fit_transform(np.array([[3.0], [3.0]]))
+        assert np.allclose(Z, 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        X = np.array([[1.0, 10.0], [2.0, 20.0], [3.0, 30.0]])
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_width_mismatch_raises(self):
+        scaler = StandardScaler().fit(np.ones((3, 2)))
+        with pytest.raises(ValueError, match="features"):
+            scaler.transform(np.ones((3, 3)))
+
+    def test_without_mean(self):
+        X = np.array([[1.0], [3.0]])
+        Z = StandardScaler(with_mean=False).fit_transform(X)
+        assert Z.min() > 0
+
+
+class TestMinMaxScaler:
+    def test_maps_to_unit_interval(self):
+        X = np.array([[0.0], [5.0], [10.0]])
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() == 0.0 and Z.max() == 1.0
+
+    def test_custom_range(self):
+        X = np.array([[0.0], [10.0]])
+        Z = MinMaxScaler(feature_range=(-1.0, 1.0)).fit_transform(X)
+        assert Z[0, 0] == -1.0 and Z[1, 0] == 1.0
+
+    def test_out_of_range_transform_data_extrapolates(self):
+        scaler = MinMaxScaler().fit(np.array([[0.0], [10.0]]))
+        assert scaler.transform(np.array([[20.0]]))[0, 0] == pytest.approx(2.0)
+
+    def test_invalid_range_raises(self):
+        with pytest.raises(ValueError, match="feature_range"):
+            MinMaxScaler(feature_range=(1.0, 0.0)).fit(np.ones((2, 1)))
+
+    def test_inverse_roundtrip(self):
+        X = np.array([[2.0], [4.0], [8.0]])
+        scaler = MinMaxScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_constant_feature(self):
+        Z = MinMaxScaler().fit_transform(np.array([[7.0], [7.0]]))
+        assert np.isfinite(Z).all()
+
+
+class TestNoOpScaler:
+    def test_identity(self):
+        X = np.array([[1.0, -5.0], [2.0, 99.0]])
+        assert np.array_equal(NoOpScaler().fit_transform(X), X)
+
+    def test_returns_copy(self):
+        X = np.array([[1.0]])
+        out = NoOpScaler().fit_transform(X)
+        out[0, 0] = 5.0
+        assert X[0, 0] == 1.0
+
+    def test_width_check(self):
+        scaler = NoOpScaler().fit(np.ones((2, 2)))
+        with pytest.raises(ValueError):
+            scaler.transform(np.ones((2, 3)))
+
+
+class TestOneHotEncoder:
+    def test_basic_encoding(self):
+        X = np.array([["a"], ["b"], ["a"]], dtype=object)
+        out = OneHotEncoder().fit_transform(X)
+        # two categories + one unseen slot
+        assert out.shape == (3, 3)
+        assert out[:, :2].sum() == 3.0
+
+    def test_unseen_category_goes_to_reserved_dimension(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]], dtype=object))
+        out = encoder.transform(np.array([["z"]], dtype=object))
+        assert out[0, -1] == 1.0
+        assert out[0, :-1].sum() == 0.0
+
+    def test_output_width_stable_across_splits(self):
+        encoder = OneHotEncoder().fit(np.array([["a"], ["b"]], dtype=object))
+        w1 = encoder.transform(np.array([["a"]], dtype=object)).shape[1]
+        w2 = encoder.transform(np.array([["z"], ["b"]], dtype=object)).shape[1]
+        assert w1 == w2
+
+    def test_missing_becomes_category(self):
+        X = np.array([["a"], [None]], dtype=object)
+        encoder = OneHotEncoder(handle_missing="category").fit(X)
+        assert MISSING_CATEGORY in encoder.categories_[0]
+
+    def test_missing_error_mode(self):
+        X = np.array([[None]], dtype=object)
+        with pytest.raises(ValueError, match="missing value"):
+            OneHotEncoder(handle_missing="error").fit(X)
+
+    def test_invalid_handle_missing(self):
+        with pytest.raises(ValueError):
+            OneHotEncoder(handle_missing="nope")
+
+    def test_multiple_features_concatenate(self):
+        X = np.array([["a", "x"], ["b", "y"]], dtype=object)
+        out = OneHotEncoder().fit_transform(X)
+        assert out.shape == (2, 6)
+        assert np.allclose(out.sum(axis=1), 2.0)
+
+    def test_feature_names(self):
+        X = np.array([["a", "x"], ["b", "x"]], dtype=object)
+        encoder = OneHotEncoder().fit(X)
+        names = encoder.feature_names(["f1", "f2"])
+        assert "f1=a" in names and "f2=<unseen>" in names
+
+    def test_feature_width_mismatch_raises(self):
+        encoder = OneHotEncoder().fit(np.array([["a", "x"]], dtype=object))
+        with pytest.raises(ValueError, match="features"):
+            encoder.transform(np.array([["a"]], dtype=object))
+
+    def test_accepts_list_of_column_arrays(self):
+        cols = [np.array(["a", "b"], dtype=object)]
+        out = OneHotEncoder().fit(cols).transform(cols)
+        assert out.shape == (2, 3)
+
+
+class TestLabelEncoder:
+    def test_roundtrip(self):
+        y = ["good", "bad", "good"]
+        encoder = LabelEncoder().fit(y)
+        codes = encoder.transform(y)
+        assert list(encoder.inverse_transform(codes)) == y
+
+    def test_classes_sorted(self):
+        encoder = LabelEncoder().fit(["z", "a"])
+        assert encoder.classes_ == ["a", "z"]
+
+    def test_unseen_label_raises(self):
+        encoder = LabelEncoder().fit(["a"])
+        with pytest.raises(ValueError, match="unseen"):
+            encoder.transform(["b"])
+
+    def test_out_of_range_codes_raise(self):
+        encoder = LabelEncoder().fit(["a", "b"])
+        with pytest.raises(ValueError, match="range"):
+            encoder.inverse_transform(np.array([5]))

@@ -1,0 +1,136 @@
+"""Property-based tests for fairness invariants."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.fairness import (
+    BinaryLabelDataset,
+    BinaryLabelDatasetMetric,
+    ClassificationMetric,
+    DisparateImpactRemover,
+    Reweighing,
+    generalized_entropy_index_from_benefits,
+)
+
+PRIV = [{"sex": 1.0}]
+UNPRIV = [{"sex": 0.0}]
+
+
+@st.composite
+def labeled_groups(draw, min_size=8, max_size=60):
+    """Random dataset with both groups and both labels present."""
+    n = draw(st.integers(min_size, max_size))
+    labels = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    sex = draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+    assume(0 < sum(sex) < n)
+    # every (group, label) cell must be populated for ratio metrics
+    cells = {(s, l) for s, l in zip(sex, labels)}
+    assume(len(cells) == 4)
+    rng = np.random.default_rng(draw(st.integers(0, 1000)))
+    features = rng.normal(size=(n, 2)) + np.asarray(sex)[:, None]
+    return BinaryLabelDataset(
+        features=features,
+        labels=np.asarray(labels, dtype=np.float64),
+        protected_attributes=np.asarray(sex, dtype=np.float64),
+        protected_attribute_names=["sex"],
+    )
+
+
+class TestReweighingProperties:
+    @given(dataset=labeled_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_reweighing_always_zeroes_weighted_parity(self, dataset):
+        out = Reweighing(UNPRIV, PRIV).fit_transform(dataset)
+        metric = BinaryLabelDatasetMetric(out, UNPRIV, PRIV)
+        assert abs(metric.statistical_parity_difference()) < 1e-9
+
+    @given(dataset=labeled_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_reweighing_preserves_total_weight(self, dataset):
+        out = Reweighing(UNPRIV, PRIV).fit_transform(dataset)
+        assert np.isclose(out.instance_weights.sum(), dataset.instance_weights.sum())
+
+    @given(dataset=labeled_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_reweighing_weights_positive(self, dataset):
+        out = Reweighing(UNPRIV, PRIV).fit_transform(dataset)
+        assert (out.instance_weights > 0).all()
+
+
+class TestDIRemoverProperties:
+    @given(dataset=labeled_groups(min_size=12), level=st.floats(0.0, 1.0))
+    @settings(max_examples=30, deadline=None)
+    def test_rank_preservation_within_groups(self, dataset, level):
+        out = DisparateImpactRemover(repair_level=level).fit_transform(dataset)
+        sex = dataset.protected_column("sex")
+        for value in (0.0, 1.0):
+            members = sex == value
+            original = dataset.features[members, 0]
+            repaired = out.features[members, 0]
+            order = np.argsort(original, kind="mergesort")
+            assert (np.diff(repaired[order]) >= -1e-9).all()
+
+    @given(dataset=labeled_groups(min_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_zero_level_identity(self, dataset):
+        out = DisparateImpactRemover(repair_level=0.0).fit_transform(dataset)
+        assert np.allclose(out.features, dataset.features)
+
+    @given(dataset=labeled_groups(min_size=12))
+    @settings(max_examples=30, deadline=None)
+    def test_labels_never_touched(self, dataset):
+        out = DisparateImpactRemover(repair_level=1.0).fit_transform(dataset)
+        assert np.array_equal(out.labels, dataset.labels)
+
+
+class TestMetricIdentities:
+    @given(dataset=labeled_groups(), data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_rate_identities_hold(self, dataset, data):
+        n = dataset.num_instances
+        predictions = data.draw(st.lists(st.integers(0, 1), min_size=n, max_size=n))
+        pred = dataset.with_predictions(labels=np.asarray(predictions, dtype=np.float64))
+        metric = ClassificationMetric(dataset, pred, UNPRIV, PRIV)
+        measures = metric.performance_measures()
+        c = metric.binary_confusion_matrix()
+        assert np.isclose(
+            measures["num_instances"], c["TP"] + c["FP"] + c["TN"] + c["FN"]
+        )
+        if not np.isnan(measures["true_positive_rate"]):
+            assert np.isclose(
+                measures["true_positive_rate"] + measures["false_negative_rate"], 1.0
+            )
+        if not np.isnan(measures["accuracy"]):
+            assert 0.0 <= measures["accuracy"] <= 1.0
+
+    @given(dataset=labeled_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_perfect_prediction_zero_entropy(self, dataset):
+        pred = dataset.with_predictions(labels=dataset.labels)
+        metric = ClassificationMetric(dataset, pred, UNPRIV, PRIV)
+        assert abs(metric.theil_index()) < 1e-12
+        assert metric.accuracy() == 1.0
+
+    @given(dataset=labeled_groups())
+    @settings(max_examples=40, deadline=None)
+    def test_dataset_di_equals_base_rate_ratio(self, dataset):
+        metric = BinaryLabelDatasetMetric(dataset, UNPRIV, PRIV)
+        expected = metric.base_rate(False) / metric.base_rate(True)
+        assert np.isclose(metric.disparate_impact(), expected, equal_nan=True)
+
+
+class TestEntropyProperties:
+    benefits = st.lists(st.floats(0.0, 10.0, allow_nan=False), min_size=2, max_size=50)
+
+    @given(values=benefits, alpha=st.sampled_from([0.5, 1.0, 2.0]))
+    def test_nonnegative(self, values, alpha):
+        arr = np.asarray(values)
+        assume(arr.sum() > 0)
+        index = generalized_entropy_index_from_benefits(arr, alpha=alpha)
+        assert np.isnan(index) or index >= -1e-12
+
+    @given(value=st.floats(0.1, 10.0), n=st.integers(2, 30))
+    def test_constant_benefits_zero(self, value, n):
+        arr = np.full(n, value)
+        assert abs(generalized_entropy_index_from_benefits(arr, alpha=2.0)) < 1e-12

@@ -1,0 +1,85 @@
+"""Property-based tests for the frame substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import (
+    Column,
+    DataFrame,
+    concat_rows,
+    train_validation_test_masks,
+)
+
+names = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")), min_size=1, max_size=8
+)
+numeric_values = st.lists(
+    st.one_of(st.floats(-1e6, 1e6), st.none()), min_size=1, max_size=40
+)
+categorical_values = st.lists(
+    st.one_of(st.sampled_from(["a", "b", "c", "d"]), st.none()), min_size=1, max_size=40
+)
+
+
+class TestColumnProperties:
+    @given(values=numeric_values)
+    def test_numeric_missing_count_matches_none_count(self, values):
+        column = Column.numeric("x", values)
+        assert column.num_missing() == sum(v is None for v in values)
+
+    @given(values=categorical_values)
+    def test_fill_missing_leaves_no_missing(self, values):
+        column = Column.categorical("x", values).fill_missing("z")
+        assert not column.has_missing()
+
+    @given(values=categorical_values)
+    def test_value_counts_total_equals_present(self, values):
+        column = Column.categorical("x", values)
+        assert sum(column.value_counts().values()) == len(values) - column.num_missing()
+
+    @given(values=numeric_values, data=st.data())
+    def test_mask_preserves_selected_values(self, values, data):
+        column = Column.numeric("x", values)
+        mask = data.draw(
+            st.lists(st.booleans(), min_size=len(values), max_size=len(values))
+        )
+        masked = column.mask(np.asarray(mask))
+        assert len(masked) == sum(mask)
+
+    @given(values=numeric_values)
+    def test_column_equals_its_copy(self, values):
+        column = Column.numeric("x", values)
+        assert column.equals(column.copy())
+
+
+class TestFrameProperties:
+    @given(values=numeric_values)
+    def test_dropna_then_no_missing(self, values):
+        frame = DataFrame.from_dict({"x": values, "y": list(range(len(values)))})
+        if frame.dropna().num_rows > 0:
+            assert frame.dropna().num_incomplete_rows() == 0
+
+    @given(values=categorical_values)
+    def test_concat_with_self_doubles_rows(self, values):
+        frame = DataFrame.from_dict({"x": values})
+        merged = concat_rows([frame, frame])
+        assert merged.num_rows == 2 * frame.num_rows
+
+    @given(
+        n=st.integers(10, 500),
+        train=st.floats(0.3, 0.8),
+        validation=st.floats(0.05, 0.15),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    def test_split_masks_partition(self, n, train, validation, seed):
+        masks = train_validation_test_masks(n, train, validation, seed)
+        total = sum(m.astype(int) for m in masks)
+        assert (total == 1).all()
+
+    @given(n=st.integers(10, 200), seed=st.integers(0, 1000))
+    def test_split_masks_deterministic(self, n, seed):
+        a = train_validation_test_masks(n, 0.7, 0.1, seed)
+        b = train_validation_test_masks(n, 0.7, 0.1, seed)
+        for x, y in zip(a, b):
+            assert (x == y).all()

@@ -1,0 +1,103 @@
+"""Property-based tests for the learn substrate."""
+
+import numpy as np
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.learn import (
+    KFold,
+    MinMaxScaler,
+    OneHotEncoder,
+    StandardScaler,
+    accuracy_score,
+    binary_counts,
+    roc_auc_score,
+)
+
+matrices = arrays(
+    np.float64,
+    st.tuples(st.integers(2, 30), st.integers(1, 5)),
+    elements=st.floats(-1e4, 1e4, allow_nan=False),
+)
+
+
+class TestScalerProperties:
+    @given(X=matrices)
+    def test_standard_scaler_inverse_roundtrip(self, X):
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X, atol=1e-6)
+
+    @given(X=matrices)
+    def test_standard_scaler_output_bounded_moments(self, X):
+        Z = StandardScaler().fit_transform(X)
+        assert np.all(np.abs(Z.mean(axis=0)) < 1e-6)
+        stds = Z.std(axis=0)
+        assert np.all((np.abs(stds - 1.0) < 1e-6) | (stds < 1e-6))
+
+    @given(X=matrices)
+    def test_minmax_scaler_in_unit_interval_on_train(self, X):
+        Z = MinMaxScaler().fit_transform(X)
+        assert Z.min() >= -1e-9 and Z.max() <= 1.0 + 1e-9
+
+
+class TestOneHotProperties:
+    @given(
+        train=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30),
+        test=st.lists(st.sampled_from(["a", "b", "c", "z"]), min_size=1, max_size=30),
+    )
+    def test_every_row_has_exactly_one_hot(self, train, test):
+        encoder = OneHotEncoder().fit(np.asarray(train, dtype=object).reshape(-1, 1))
+        out = encoder.transform(np.asarray(test, dtype=object).reshape(-1, 1))
+        assert np.allclose(out.sum(axis=1), 1.0)
+
+    @given(train=st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=30))
+    def test_width_is_categories_plus_one(self, train):
+        encoder = OneHotEncoder().fit(np.asarray(train, dtype=object).reshape(-1, 1))
+        out = encoder.transform(np.asarray(train, dtype=object).reshape(-1, 1))
+        assert out.shape[1] == len(set(train)) + 1
+
+
+class TestMetricProperties:
+    labels = st.lists(st.integers(0, 1), min_size=2, max_size=50)
+
+    @given(y=labels, data=st.data())
+    def test_confusion_counts_partition(self, y, data):
+        predictions = data.draw(
+            st.lists(st.integers(0, 1), min_size=len(y), max_size=len(y))
+        )
+        c = binary_counts(y, predictions, positive_label=1)
+        assert c["TP"] + c["FP"] + c["TN"] + c["FN"] == len(y)
+
+    @given(y=labels, data=st.data())
+    def test_accuracy_in_unit_interval(self, y, data):
+        predictions = data.draw(
+            st.lists(st.integers(0, 1), min_size=len(y), max_size=len(y))
+        )
+        assert 0.0 <= accuracy_score(y, predictions) <= 1.0
+
+    @given(y=labels, data=st.data())
+    def test_auc_complement_symmetry(self, y, data):
+        assume(0 < sum(y) < len(y))
+        scores = data.draw(
+            st.lists(st.floats(0, 1, allow_nan=False), min_size=len(y), max_size=len(y))
+        )
+        auc = roc_auc_score(y, scores)
+        flipped = roc_auc_score([1 - v for v in y], scores)
+        assert abs((auc + flipped) - 1.0) < 1e-9
+
+
+class TestKFoldProperties:
+    @given(
+        n=st.integers(10, 300),
+        k=st.integers(2, 8),
+        seed=st.integers(0, 10_000),
+    )
+    def test_folds_partition_and_are_disjoint(self, n, k, seed):
+        assume(n >= k)
+        seen = []
+        for train_idx, test_idx in KFold(k, random_state=seed).split(n):
+            assert len(np.intersect1d(train_idx, test_idx)) == 0
+            assert len(train_idx) + len(test_idx) == n
+            seen.extend(test_idx.tolist())
+        assert sorted(seen) == list(range(n))
