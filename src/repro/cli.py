@@ -111,6 +111,19 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(_INTERVENTIONS),
     )
     p_grid.add_argument("--output", default=None, help="JSONL results file")
+    p_grid.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the grid (1 = serial; >1 uses the "
+        "process-pool backend with shared-preparation caching)",
+    )
+    p_grid.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip combinations already present in --output (matched by "
+        "run fingerprint) instead of recomputing them",
+    )
     return parser
 
 
@@ -220,6 +233,9 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_grid(args) -> int:
+    if args.resume and not args.output:
+        print("--resume requires --output (the store to resume from)", file=sys.stderr)
+        return 2
     store = ResultsStore(args.output) if args.output else None
     grid = GridSpec(
         seeds=list(range(args.seeds)),
@@ -240,6 +256,8 @@ def _cmd_grid(args) -> int:
         protected_attribute=args.protected,
         results_store=store,
         progress=lambda done, total, _: print(f"  {done}/{total}", end="\r", file=sys.stderr),
+        jobs=args.jobs,
+        resume=args.resume,
     )
     print(file=sys.stderr)
     rows = []

@@ -12,8 +12,21 @@ from .components import (
     PostProcessor,
     PreProcessor,
     Resampler,
+    component_fingerprint,
+    constructor_params,
 )
-from .experiment import Experiment
+from .executors import (
+    ExecutionPlan,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from .experiment import (
+    Experiment,
+    FeaturizedSplits,
+    PreparedData,
+    TrainedCandidates,
+)
 from .featurization import Featurizer
 from .interventions import (
     CalibratedEqOddsPostProcessor,
@@ -46,6 +59,7 @@ from .resamplers import (
     NoResampling,
     StratifiedSampler,
 )
+from .plan import RunConfig, route_intervention
 from .results import CandidateResult, ResultsStore, RunResult, results_to_rows
 from .runner import GridSpec, run_grid
 from .selection import (
@@ -78,8 +92,11 @@ __all__ = [
     "DIRemover",
     "DecisionTree",
     "EqOddsPostProcessor",
+    "ExecutionPlan",
+    "Executor",
     "Experiment",
     "Featurizer",
+    "FeaturizedSplits",
     "FunctionSelector",
     "GermanCreditExperiment",
     "GridSpec",
@@ -94,9 +111,11 @@ __all__ = [
     "NoIntervention",
     "NoMissingValues",
     "NoResampling",
+    "ParallelExecutor",
     "PaymentOptionGenderExperiment",
     "PostProcessor",
     "PreProcessor",
+    "PreparedData",
     "PrejudiceRemoverLearner",
     "PropublicaExperiment",
     "RejectOptionPostProcessor",
@@ -104,8 +123,14 @@ __all__ = [
     "ResultsStore",
     "ReweighingPreProcessor",
     "RicciExperiment",
+    "RunConfig",
     "RunResult",
+    "SerialExecutor",
     "StratifiedSampler",
+    "TrainedCandidates",
+    "component_fingerprint",
+    "constructor_params",
     "results_to_rows",
+    "route_intervention",
     "run_grid",
 ]

@@ -10,10 +10,46 @@ data only and applied by the framework to the validation and test sets
 from __future__ import annotations
 
 import abc
-from typing import Optional
+import inspect
+from typing import Dict, Optional
 
 from ..fairness import BinaryLabelDataset
 from ..frame import DataFrame
+
+
+def constructor_params(component) -> Dict[str, object]:
+    """Constructor kwargs of a component (public attributes by signature).
+
+    Components follow the convention of storing each constructor argument
+    under an attribute of the same name, so a fresh, unfitted copy can be
+    rebuilt as ``type(component)(**constructor_params(component))``.
+    """
+    signature = inspect.signature(type(component).__init__)
+    params: Dict[str, object] = {}
+    for name, parameter in signature.parameters.items():
+        if name == "self" or parameter.kind in (
+            parameter.VAR_POSITIONAL,
+            parameter.VAR_KEYWORD,
+        ):
+            continue
+        if hasattr(component, name):
+            params[name] = getattr(component, name)
+    return params
+
+
+def component_fingerprint(component) -> str:
+    """Deterministic, parameter-aware description of a component.
+
+    Unlike ``name()`` (a display label), the fingerprint always includes the
+    constructor parameters, so two instances fingerprint equal exactly when
+    they are interchangeable — the property the plan layer relies on for
+    run deduplication and preparation caching.
+    """
+    if component is None:
+        return "None"
+    params = constructor_params(component)
+    inner = ",".join(f"{key}={params[key]!r}" for key in sorted(params))
+    return f"{type(component).__name__}({inner})"
 
 
 class Resampler(abc.ABC):
@@ -123,6 +159,16 @@ class PostProcessor(abc.ABC):
     @abc.abstractmethod
     def apply(self, predictions: BinaryLabelDataset) -> BinaryLabelDataset:
         """Adjust a prediction dataset."""
+
+    def clone(self) -> "PostProcessor":
+        """A fresh, unfitted instance with the same constructor parameters.
+
+        Each model-selection candidate gets its own fitted post-processor,
+        so the component must be reconstructible. The default rebuilds from
+        constructor parameters stored under same-named attributes; override
+        when a post-processor holds state the constructor cannot restore.
+        """
+        return type(self)(**constructor_params(self))
 
     def name(self) -> str:
         return type(self).__name__

@@ -1,0 +1,366 @@
+"""Executor backends: *how* an execution plan runs.
+
+The plan layer (:mod:`repro.core.plan`) describes what to run; the
+executors here decide scheduling and reuse:
+
+* :class:`SerialExecutor` — in-process, one run at a time;
+* :class:`ParallelExecutor` — fans preparation groups out over a
+  ``concurrent.futures`` process pool (fork start method, so grid
+  factories need not be picklable), falling back to serial execution
+  where fork is unavailable.
+
+Both share two caches keyed by the plan's fingerprints:
+
+* a **preparation cache**: every combination with the same ``prep_key``
+  (seed, resampler, missing-value handler, scaler) reuses one
+  :class:`~repro.core.experiment.FeaturizedSplits` instead of re-running
+  split → resample → impute → featurize;
+* a **pre-processing cache** on top of it: combinations that also share
+  the fairness pre-processor reuse the fitted/applied
+  :class:`~repro.core.experiment.PreparedData`, so e.g. a DI-remover
+  repair is computed once per (seed, repair level) and shared by every
+  learner.
+
+Results are identical to uncached serial execution because every stage is
+deterministic in (inputs, seed) and never mutates shared artifacts.
+
+With a :class:`~repro.core.results.ResultsStore`, completed groups are
+persisted in batches (one open/write per group) and ``resume=True`` skips
+any configuration whose ``run_key`` is already stored.
+"""
+
+from __future__ import annotations
+
+import abc
+import multiprocessing
+import os
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..datasets import DatasetSpec
+from ..frame import DataFrame
+from .components import component_fingerprint
+from .experiment import Experiment, FeaturizedSplits
+from .plan import GridSpec, RunConfig, route_intervention
+from .results import ResultsStore, RunResult
+
+# progress callback: (completed_count, total, latest_result)
+ProgressCallback = Callable[[int, int, RunResult], None]
+
+
+@dataclass
+class ExecutionPlan:
+    """A grid bound to its data: everything an executor needs to run."""
+
+    frame: DataFrame
+    spec: DatasetSpec
+    grid: GridSpec
+    configs: List[RunConfig]
+    protected_attribute: Optional[str] = None
+
+    @classmethod
+    def for_grid(
+        cls,
+        frame: DataFrame,
+        spec: DatasetSpec,
+        grid: GridSpec,
+        protected_attribute: Optional[str] = None,
+        dataset_fingerprint: Optional[str] = None,
+    ) -> "ExecutionPlan":
+        # fold the concrete row count into the run fingerprints so resume
+        # never matches results computed on a size-truncated variant
+        if dataset_fingerprint is None:
+            dataset_fingerprint = f"{spec.name}|rows={frame.num_rows}"
+        configs = grid.expand(
+            spec.name, protected_attribute, dataset_fingerprint=dataset_fingerprint
+        )
+        return cls(
+            frame=frame,
+            spec=spec,
+            grid=grid,
+            configs=configs,
+            protected_attribute=protected_attribute,
+        )
+
+
+def build_experiment(plan: ExecutionPlan, config: RunConfig) -> Experiment:
+    """Materialize the experiment for one plan cell from fresh components."""
+    grid = plan.grid
+    intervention = grid.interventions[config.intervention_index]()
+    pre, post = route_intervention(intervention)
+    return Experiment(
+        frame=plan.frame,
+        spec=plan.spec,
+        random_seed=config.random_seed,
+        learner=grid.learners[config.learner_index](),
+        missing_value_handler=grid.missing_value_handlers[config.handler_index](),
+        numeric_attribute_scaler=grid.scalers[config.scaler_index](),
+        pre_processor=pre,
+        post_processor=post,
+        protected_attribute=plan.protected_attribute,
+    )
+
+
+def iter_config_group(
+    plan: ExecutionPlan,
+    group: Sequence[RunConfig],
+    share_preparation: bool = True,
+):
+    """Execute one preparation group, yielding each result as it completes.
+
+    All configs in ``group`` must share a ``prep_key`` (enforced by the
+    grouping in :class:`Executor`); the featurized splits are computed once
+    and each distinct pre-processor is fitted/applied once.
+    """
+    splits: Optional[FeaturizedSplits] = None
+    prepared_cache: Dict[str, object] = {}
+    for config in group:
+        experiment = build_experiment(plan, config)
+        if share_preparation:
+            if splits is None:
+                splits = experiment.prepare_splits()
+            pre_fingerprint = component_fingerprint(experiment.pre_processor)
+            prepared = prepared_cache.get(pre_fingerprint)
+            if prepared is None:
+                prepared = experiment.prepare(splits)
+                prepared_cache[pre_fingerprint] = prepared
+            trained = experiment.train_candidates(prepared)
+            result = experiment.evaluate(prepared, trained)
+        else:
+            result = experiment.run()
+        result.run_key = config.run_key
+        yield config, result
+
+
+def run_config_group(
+    plan: ExecutionPlan,
+    group: Sequence[RunConfig],
+    share_preparation: bool = True,
+) -> List[RunResult]:
+    """Execute one preparation group and collect the results."""
+    return [
+        result for _, result in iter_config_group(plan, group, share_preparation)
+    ]
+
+
+class Executor(abc.ABC):
+    """One interface for all backends: ``run(plan) -> [RunResult]``.
+
+    Results come back in plan (expansion) order regardless of the
+    scheduling a backend chooses, and are identical across backends.
+    """
+
+    share_preparation: bool = True
+
+    def run(
+        self,
+        plan: ExecutionPlan,
+        results_store: Optional[ResultsStore] = None,
+        resume: bool = False,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RunResult]:
+        configs = list(plan.configs)
+        total = len(configs)
+        slots: Dict[int, RunResult] = {}
+        done = 0
+
+        def finish(config: RunConfig, result: RunResult) -> None:
+            nonlocal done
+            slots[config.index] = result
+            done += 1
+            if progress is not None:
+                progress(done, total, result)
+
+        pending: List[RunConfig] = []
+        if resume and results_store is not None:
+            completed: Dict[str, RunResult] = {}
+            # tolerate torn lines: an interrupted write is exactly the
+            # situation resume recovers from
+            for stored in results_store.load(strict=False):
+                if stored.run_key and stored.run_key not in completed:
+                    completed[stored.run_key] = stored
+            for config in configs:
+                hit = completed.get(config.run_key)
+                if hit is not None:
+                    finish(config, hit)
+                else:
+                    pending.append(config)
+        else:
+            pending = configs
+
+        def emit_group(group: Sequence[RunConfig], results: List[RunResult]) -> None:
+            if results_store is not None:
+                results_store.extend(results)
+            for config, result in zip(group, results):
+                finish(config, result)
+
+        if pending:
+            self._execute(plan, pending, emit_group)
+        return [slots[config.index] for config in configs]
+
+    @abc.abstractmethod
+    def _execute(
+        self,
+        plan: ExecutionPlan,
+        pending: List[RunConfig],
+        emit_group: Callable[[Sequence[RunConfig], List[RunResult]], None],
+    ) -> None:
+        """Run the pending configs, reporting each completed group."""
+
+    # ------------------------------------------------------------------
+    def _groups(self, pending: List[RunConfig]) -> List[List[RunConfig]]:
+        """Partition pending configs into shared-preparation groups."""
+        if not self.share_preparation:
+            return [[config] for config in pending]
+        grouped: Dict[str, List[RunConfig]] = {}
+        for config in pending:
+            grouped.setdefault(config.prep_key, []).append(config)
+        return list(grouped.values())
+
+
+def _run_groups_in_process(plan, groups, share_preparation, emit_group) -> None:
+    """Run groups here, persisting a group's completed runs even when a
+    later run in it raises (so an interrupted grid resumes where it died)."""
+    for group in groups:
+        finished_configs: List[RunConfig] = []
+        finished_results: List[RunResult] = []
+        try:
+            for config, result in iter_config_group(plan, group, share_preparation):
+                finished_configs.append(config)
+                finished_results.append(result)
+        except BaseException:
+            if finished_results:
+                emit_group(finished_configs, finished_results)
+            raise
+        emit_group(finished_configs, finished_results)
+
+
+class SerialExecutor(Executor):
+    """In-process execution, one run at a time (with preparation reuse)."""
+
+    def __init__(self, share_preparation: bool = True):
+        self.share_preparation = share_preparation
+
+    def _execute(self, plan, pending, emit_group) -> None:
+        _run_groups_in_process(
+            plan, self._groups(pending), self.share_preparation, emit_group
+        )
+
+
+# ----------------------------------------------------------------------
+# process-pool backend
+#
+# Grid factories are often lambdas/closures, which do not pickle. The pool
+# therefore uses the fork start method: the plan is published in a module
+# global before workers are spawned, each forked worker inherits it, and
+# only config indices cross the process boundary.
+# ----------------------------------------------------------------------
+_WORKER_PLAN: Optional[ExecutionPlan] = None
+
+
+def _run_group_by_index(indices: List[int], share_preparation: bool) -> List[RunResult]:
+    plan = _WORKER_PLAN
+    if plan is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker has no execution plan; pool misconfigured")
+    group = [plan.configs[i] for i in indices]
+    return run_config_group(plan, group, share_preparation)
+
+
+class ParallelExecutor(Executor):
+    """Process-pool execution of preparation groups.
+
+    ``jobs`` defaults to the machine's CPU count. Preparation groups are
+    the unit of distribution (cache sharing never crosses processes); when
+    there are fewer groups than workers, the largest groups are split so
+    every worker gets something to do — at the cost of re-preparing the
+    split halves, which never changes the results.
+
+    On platforms without the ``fork`` start method the executor degrades
+    to serial in-process execution with a warning.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, share_preparation: bool = True):
+        self.jobs = int(jobs) if jobs is not None else (os.cpu_count() or 1)
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.share_preparation = share_preparation
+
+    def _execute(self, plan, pending, emit_group) -> None:
+        groups = self._groups(pending)
+        workers = min(self.jobs, len(pending))
+        if workers <= 1:
+            _run_groups_in_process(plan, groups, self.share_preparation, emit_group)
+            return
+        if "fork" not in multiprocessing.get_all_start_methods():
+            warnings.warn(
+                "ParallelExecutor needs the 'fork' start method to ship "
+                "component factories to workers; running serially instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _run_groups_in_process(plan, groups, self.share_preparation, emit_group)
+            return
+
+        groups = _split_for_balance(groups, workers)
+        global _WORKER_PLAN
+        _WORKER_PLAN = plan
+        try:
+            context = multiprocessing.get_context("fork")
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(groups)), mp_context=context
+            ) as pool:
+                futures = {
+                    pool.submit(
+                        _run_group_by_index,
+                        [config.index for config in group],
+                        self.share_preparation,
+                    ): group
+                    for group in groups
+                }
+                emitted = set()
+                try:
+                    remaining = set(futures)
+                    while remaining:
+                        finished, remaining = wait(
+                            remaining, return_when=FIRST_COMPLETED
+                        )
+                        for future in finished:
+                            results = future.result()
+                            emitted.add(future)
+                            emit_group(futures[future], results)
+                except BaseException:
+                    # a failed run must not discard groups other workers
+                    # completed: stop unstarted work, let in-flight groups
+                    # finish (pool shutdown waits for them regardless) and
+                    # persist every success before propagating
+                    for future in futures:
+                        future.cancel()
+                    wait(set(futures))
+                    for future in futures:
+                        if (
+                            future not in emitted
+                            and future.done()
+                            and not future.cancelled()
+                            and future.exception() is None
+                        ):
+                            emit_group(futures[future], future.result())
+                    raise
+        finally:
+            _WORKER_PLAN = None
+
+
+def _split_for_balance(
+    groups: List[List[RunConfig]], workers: int
+) -> List[List[RunConfig]]:
+    """Split the largest groups until every worker can stay busy."""
+    groups = [list(group) for group in groups]
+    while len(groups) < workers:
+        largest = max(groups, key=len)
+        if len(largest) < 2:
+            break
+        groups.remove(largest)
+        middle = len(largest) // 2
+        groups.extend([largest[:middle], largest[middle:]])
+    return groups

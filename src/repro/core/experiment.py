@@ -21,7 +21,8 @@ An evaluation run has three phases:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Union
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -36,6 +37,62 @@ from .missing_values import NoMissingValues
 from .resamplers import NoResampling
 from .results import CandidateResult, ResultsStore, RunResult
 from .selection import AccuracySelector, BestModelSelector
+
+
+@dataclass(frozen=True)
+class FeaturizedSplits:
+    """Immutable output of the shareable preparation pipeline.
+
+    Everything up to (but excluding) the fairness pre-processing
+    intervention: split → resample → missing-value handling → featurization.
+    The artifact depends only on the seed, resampler, missing-value handler,
+    scaler and encoder — *not* on the learner or intervention — so executor
+    backends cache and share it across all grid combinations with the same
+    preparation configuration. Consumers must never mutate the contained
+    datasets in place.
+    """
+
+    seed: int
+    train_data: BinaryLabelDataset
+    validation_data: BinaryLabelDataset
+    test_data: BinaryLabelDataset
+    privileged_groups: List[Dict[str, float]]
+    unprivileged_groups: List[Dict[str, float]]
+    validation_had_missing: np.ndarray
+    test_had_missing: np.ndarray
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class PreparedData:
+    """Immutable, fully prepared inputs for candidate training.
+
+    A :class:`FeaturizedSplits` with the pre-processing intervention fitted
+    and applied: ``train_data`` is the (possibly reweighted/repaired)
+    training set, while ``validation_data``/``test_data`` keep the
+    *unrepaired* annotations that metrics are computed against and
+    ``*_eval`` carry the repaired features models predict on.
+    """
+
+    seed: int
+    train_data: BinaryLabelDataset
+    validation_data: BinaryLabelDataset
+    test_data: BinaryLabelDataset
+    validation_data_eval: BinaryLabelDataset
+    test_data_eval: BinaryLabelDataset
+    privileged_groups: List[Dict[str, float]]
+    unprivileged_groups: List[Dict[str, float]]
+    validation_had_missing: np.ndarray
+    test_had_missing: np.ndarray
+    sizes: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class TrainedCandidates:
+    """All fitted candidate models with their validation-set outcomes."""
+
+    candidates: List[CandidateResult]
+    models: List[Tuple[object, PostProcessor]]
 
 
 class Experiment:
@@ -90,11 +147,25 @@ class Experiment:
         self.results_store = results_store
 
     # ------------------------------------------------------------------
+    # staged execution: run() is a thin composition of the three stages so
+    # executor backends can cache/share the expensive preparation artifacts
+    # ------------------------------------------------------------------
     def run(self) -> RunResult:
+        prepared = self.prepare()
+        trained = self.train_candidates(prepared)
+        return self.evaluate(prepared, trained)
+
+    def prepare_splits(self) -> FeaturizedSplits:
+        """Split → resample → missing-value handling → featurization.
+
+        The returned artifact is independent of the learner and of the
+        pre/post intervention, so executors share it across all grid
+        combinations with the same ``(seed, resampler, handler, scaler)``
+        preparation configuration.
+        """
         seed = self.random_seed
         feature_columns = self.spec.feature_columns
 
-        # -------- phase 1: split + transforms on training data ----------
         train_mask, validation_mask, test_mask = train_validation_test_masks(
             self.frame.num_rows,
             self.train_fraction,
@@ -128,74 +199,121 @@ class Experiment:
             protected_attribute=self.protected_attribute,
             categorical_encoder=self.categorical_encoder,
         ).fit(train_frame)
-        privileged = featurizer.privileged_groups
-        unprivileged = featurizer.unprivileged_groups
 
-        train_data = featurizer.transform(train_frame)
-        validation_data = featurizer.transform(validation_frame)
-        test_data = featurizer.transform(test_frame)
-
-        self.pre_processor.fit(train_data, privileged, unprivileged, seed)
-        train_data = self.pre_processor.transform_train(train_data)
-        validation_data_eval = self.pre_processor.transform_eval(validation_data)
-        test_data_eval = self.pre_processor.transform_eval(test_data)
-
-        # -------- phase 1 (continued): candidates + validation metrics --
-        candidates: List[CandidateResult] = []
-        fitted = []
-        for learner in self.learners:
-            model = learner.fit_model(train_data, seed)
-            post = self._fresh_post_processor()
-            validation_pred = self._predict(model, validation_data_eval, validation_data)
-            post.fit(validation_data, validation_pred, privileged, unprivileged, seed)
-            validation_pred = post.apply(validation_pred)
-            train_pred = self._predict(model, train_data, train_data)
-            candidates.append(
-                CandidateResult(
-                    learner=learner.name(),
-                    validation_metrics=self._metrics(validation_data, validation_pred),
-                    train_metrics=self._metrics(train_data, train_pred),
-                    best_params=self._best_params(learner),
-                )
-            )
-            fitted.append((model, post))
-
-        # -------- phase 2: user-defined best-model choice ----------------
-        best_index = self.model_selector.select(
-            [c.validation_metrics for c in candidates]
-        )
-
-        # -------- phase 3: one-shot application to the test set ----------
-        best_model, best_post = fitted[best_index]
-        test_pred = self._predict(best_model, test_data_eval, test_data)
-        test_pred = best_post.apply(test_pred)
-        test_metrics = self._metrics(test_data, test_pred)
-
-        incomplete_metrics: Dict[str, float] = {}
-        complete_metrics: Dict[str, float] = {}
-        if test_had_missing.any():
-            incomplete_metrics = self._metrics(
-                test_data.subset(test_had_missing), test_pred.subset(test_had_missing)
-            )
-            complete_metrics = self._metrics(
-                test_data.subset(~test_had_missing), test_pred.subset(~test_had_missing)
-            )
-
-        result = RunResult(
-            dataset=self.spec.name,
-            random_seed=seed,
-            components=self.component_description(),
-            candidates=candidates,
-            best_index=best_index,
-            test_metrics=test_metrics,
-            test_metrics_incomplete=incomplete_metrics,
-            test_metrics_complete=complete_metrics,
+        return FeaturizedSplits(
+            seed=seed,
+            train_data=featurizer.transform(train_frame),
+            validation_data=featurizer.transform(validation_frame),
+            test_data=featurizer.transform(test_frame),
+            privileged_groups=featurizer.privileged_groups,
+            unprivileged_groups=featurizer.unprivileged_groups,
+            validation_had_missing=validation_had_missing,
+            test_had_missing=test_had_missing,
             sizes={
                 "train": train_frame.num_rows,
                 "validation": validation_frame.num_rows,
                 "test": test_frame.num_rows,
                 "test_incomplete": int(test_had_missing.sum()),
             },
+        )
+
+    def prepare(self, splits: Optional[FeaturizedSplits] = None) -> PreparedData:
+        """Fit and apply the pre-processing intervention on featurized splits.
+
+        Pass a cached :class:`FeaturizedSplits` (from :meth:`prepare_splits`
+        of any experiment with the same preparation configuration) to skip
+        recomputing the split/resample/impute/featurize pipeline.
+        """
+        if splits is None:
+            splits = self.prepare_splits()
+        seed = self.random_seed
+        self.pre_processor.fit(
+            splits.train_data, splits.privileged_groups, splits.unprivileged_groups, seed
+        )
+        return PreparedData(
+            seed=seed,
+            train_data=self.pre_processor.transform_train(splits.train_data),
+            validation_data=splits.validation_data,
+            test_data=splits.test_data,
+            validation_data_eval=self.pre_processor.transform_eval(splits.validation_data),
+            test_data_eval=self.pre_processor.transform_eval(splits.test_data),
+            privileged_groups=splits.privileged_groups,
+            unprivileged_groups=splits.unprivileged_groups,
+            validation_had_missing=splits.validation_had_missing,
+            test_had_missing=splits.test_had_missing,
+            sizes=dict(splits.sizes),
+        )
+
+    def train_candidates(self, prepared: PreparedData) -> TrainedCandidates:
+        """Train every candidate learner and score it on the validation set."""
+        seed = prepared.seed
+        candidates: List[CandidateResult] = []
+        models: List[Tuple[object, PostProcessor]] = []
+        for learner in self.learners:
+            model = learner.fit_model(prepared.train_data, seed)
+            post = self.post_processor.clone()
+            validation_pred = self._predict(
+                model, prepared.validation_data_eval, prepared.validation_data
+            )
+            post.fit(
+                prepared.validation_data,
+                validation_pred,
+                prepared.privileged_groups,
+                prepared.unprivileged_groups,
+                seed,
+            )
+            validation_pred = post.apply(validation_pred)
+            train_pred = self._predict(model, prepared.train_data, prepared.train_data)
+            candidates.append(
+                CandidateResult(
+                    learner=learner.name(),
+                    validation_metrics=self._metrics(
+                        prepared.validation_data, validation_pred
+                    ),
+                    train_metrics=self._metrics(prepared.train_data, train_pred),
+                    best_params=self._best_params(learner),
+                )
+            )
+            models.append((model, post))
+        return TrainedCandidates(candidates=candidates, models=models)
+
+    def evaluate(
+        self, prepared: PreparedData, trained: TrainedCandidates
+    ) -> RunResult:
+        """Select the best candidate and apply it once to the test set."""
+        candidates = trained.candidates
+        best_index = self.model_selector.select(
+            [c.validation_metrics for c in candidates]
+        )
+
+        best_model, best_post = trained.models[best_index]
+        test_pred = self._predict(best_model, prepared.test_data_eval, prepared.test_data)
+        test_pred = best_post.apply(test_pred)
+        test_metrics = self._metrics(prepared.test_data, test_pred)
+
+        test_had_missing = prepared.test_had_missing
+        incomplete_metrics: Dict[str, float] = {}
+        complete_metrics: Dict[str, float] = {}
+        if test_had_missing.any():
+            incomplete_metrics = self._metrics(
+                prepared.test_data.subset(test_had_missing),
+                test_pred.subset(test_had_missing),
+            )
+            complete_metrics = self._metrics(
+                prepared.test_data.subset(~test_had_missing),
+                test_pred.subset(~test_had_missing),
+            )
+
+        result = RunResult(
+            dataset=self.spec.name,
+            random_seed=prepared.seed,
+            components=self.component_description(),
+            candidates=candidates,
+            best_index=best_index,
+            test_metrics=test_metrics,
+            test_metrics_incomplete=incomplete_metrics,
+            test_metrics_complete=complete_metrics,
+            sizes=dict(prepared.sizes),
         )
         if self.results_store is not None:
             self.results_store.append(result)
@@ -218,13 +336,6 @@ class Experiment:
             "selector": self.model_selector.name(),
             "learners": ",".join(l.name() for l in self.learners),
         }
-
-    def _fresh_post_processor(self) -> PostProcessor:
-        """Each candidate gets its own fitted post-processor instance."""
-        post = self.post_processor
-        if isinstance(post, NoIntervention):
-            return post
-        return type(post)(**_shallow_params(post))
 
     def _predict(
         self,
@@ -260,17 +371,3 @@ class Experiment:
         if search is None:
             return None
         return dict(search.best_params_)
-
-
-def _shallow_params(component) -> Dict:
-    """Constructor kwargs of a component (public attributes by signature)."""
-    import inspect
-
-    signature = inspect.signature(type(component).__init__)
-    params = {}
-    for name in signature.parameters:
-        if name == "self":
-            continue
-        if hasattr(component, name):
-            params[name] = getattr(component, name)
-    return params

@@ -1,0 +1,230 @@
+"""Execution plans: *what to run*, decoupled from *how to run it*.
+
+The paper's studies are large grids ("16 different random seeds ... 1,344
+runs in total"). :meth:`GridSpec.expand` turns the axes of such a sweep
+into a flat list of serializable :class:`RunConfig` records. Each record
+carries two deterministic fingerprints:
+
+``run_key``
+    Identifies the complete run configuration (dataset, seed, every
+    component). A :class:`~repro.core.results.ResultsStore` indexes
+    completed runs by this key, so interrupted grids resume without
+    recomputation.
+``prep_key``
+    Identifies only the preparation configuration (seed, resampler,
+    missing-value handler, scaler). All combinations sharing a ``prep_key``
+    can reuse one :class:`~repro.core.experiment.FeaturizedSplits`
+    artifact, which executor backends exploit to dedupe the expensive
+    split → resample → impute → featurize pipeline.
+
+Executor backends that turn a plan into results live in
+:mod:`repro.core.executors`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from .components import (
+    Learner,
+    MissingValueHandler,
+    PostProcessor,
+    PreProcessor,
+    component_fingerprint,
+)
+from .interventions import NoIntervention
+
+# an intervention slot is either a pre-processor or a post-processor; the
+# engine wires it into the right lifecycle stage
+Intervention = Union[PreProcessor, PostProcessor]
+
+
+def route_intervention(
+    intervention: Intervention,
+) -> Tuple[Optional[PreProcessor], Optional[PostProcessor]]:
+    """Place an intervention in the pre- or post-processing slot."""
+    if isinstance(intervention, NoIntervention):
+        return intervention, None
+    if isinstance(intervention, PreProcessor):
+        return intervention, None
+    if isinstance(intervention, PostProcessor):
+        return None, intervention
+    raise TypeError(
+        f"{type(intervention).__name__} is neither a PreProcessor nor a PostProcessor"
+    )
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """One serializable cell of an experiment grid.
+
+    Holds plain data only — dataset name, seed, axis indices into the
+    originating :class:`GridSpec`, descriptive component fingerprints and
+    the two derived keys — so records can be pickled across process
+    boundaries and persisted next to their results.
+    """
+
+    dataset: str
+    random_seed: int
+    index: int
+    learner_index: int
+    intervention_index: int
+    handler_index: int
+    scaler_index: int
+    protected_attribute: Optional[str]
+    components: Dict[str, str]
+    prep_key: str
+    run_key: str
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "random_seed": self.random_seed,
+            "index": self.index,
+            "components": dict(self.components),
+            "prep_key": self.prep_key,
+            "run_key": self.run_key,
+        }
+
+
+@dataclass
+class GridSpec:
+    """Axes of an experiment sweep.
+
+    Each factory in ``interventions``/``learners``/... is a zero-argument
+    callable producing a *fresh* component, so state never leaks between
+    runs.
+    """
+
+    seeds: Sequence[int]
+    learners: Sequence[Callable[[], Union[Learner, Sequence[Learner]]]]
+    interventions: Sequence[Callable[[], Intervention]] = field(
+        default_factory=lambda: [NoIntervention]
+    )
+    missing_value_handlers: Sequence[Callable[[], Optional[MissingValueHandler]]] = field(
+        default_factory=lambda: [lambda: None]
+    )
+    scalers: Sequence[Callable[[], object]] = field(
+        default_factory=lambda: [lambda: None]
+    )
+
+    def size(self) -> int:
+        return (
+            len(self.seeds)
+            * len(self.learners)
+            * len(self.interventions)
+            * len(self.missing_value_handlers)
+            * len(self.scalers)
+        )
+
+    def expand(
+        self,
+        dataset: str,
+        protected_attribute: Optional[str] = None,
+        dataset_fingerprint: Optional[str] = None,
+    ) -> List[RunConfig]:
+        """Flatten the axes into :class:`RunConfig` records, in run order.
+
+        The expansion order matches the historical serial runner
+        (``itertools.product(seeds, learners, interventions, handlers,
+        scalers)``), so result lists stay comparable across engine versions.
+
+        ``dataset_fingerprint`` feeds the ``run_key``/``prep_key`` hashes in
+        place of the bare dataset name; callers that know more about the
+        concrete data (row count, generation seed) should pass it so resume
+        never matches results computed on a different dataset variant.
+        """
+        identity = dataset_fingerprint if dataset_fingerprint is not None else dataset
+        configs: List[RunConfig] = []
+        axes = itertools.product(
+            range(len(self.seeds)),
+            range(len(self.learners)),
+            range(len(self.interventions)),
+            range(len(self.missing_value_handlers)),
+            range(len(self.scalers)),
+        )
+        for index, (si, li, ii, hi, sci) in enumerate(axes):
+            seed = int(self.seeds[si])
+            components = self._describe_cell(li, ii, hi, sci)
+            prep_key = _fingerprint(
+                {
+                    "dataset": identity,
+                    "seed": seed,
+                    "protected": protected_attribute,
+                    "resampler": components["resampler"],
+                    "missing_value_handler": components["missing_value_handler"],
+                    "scaler": components["scaler"],
+                }
+            )
+            run_key = _fingerprint(
+                {
+                    "dataset": identity,
+                    "seed": seed,
+                    "protected": protected_attribute,
+                    "components": components,
+                }
+            )
+            configs.append(
+                RunConfig(
+                    dataset=dataset,
+                    random_seed=seed,
+                    index=index,
+                    learner_index=li,
+                    intervention_index=ii,
+                    handler_index=hi,
+                    scaler_index=sci,
+                    protected_attribute=protected_attribute,
+                    components=components,
+                    prep_key=prep_key,
+                    run_key=run_key,
+                )
+            )
+        return configs
+
+    # ------------------------------------------------------------------
+    def _describe_cell(self, li: int, ii: int, hi: int, sci: int) -> Dict[str, str]:
+        """Parameter-aware fingerprints of one cell's components.
+
+        Factories are instantiated once per cell; components are cheap
+        configuration objects, the expensive work happens at fit time.
+        """
+        from ..learn import StandardScaler
+        from .missing_values import NoMissingValues
+        from .resamplers import NoResampling
+
+        learner = self.learners[li]()
+        learners = list(learner) if isinstance(learner, (list, tuple)) else [learner]
+        pre, post = route_intervention(self.interventions[ii]())
+        handler = self.missing_value_handlers[hi]()
+        scaler = self.scalers[sci]()
+        # None means "use the Experiment default"; fingerprint an actual
+        # default instance so the two spellings of the same configuration
+        # always collide (explicit StandardScaler() vs scaler=None, etc.)
+        return {
+            "learners": ",".join(component_fingerprint(l) for l in learners),
+            "pre_processor": component_fingerprint(
+                pre if pre is not None else NoIntervention()
+            ),
+            "post_processor": component_fingerprint(
+                post if post is not None else NoIntervention()
+            ),
+            "missing_value_handler": component_fingerprint(
+                handler if handler is not None else NoMissingValues()
+            ),
+            "scaler": component_fingerprint(
+                scaler if scaler is not None else StandardScaler()
+            ),
+            # the grid has no resampler axis (yet); fingerprint the default
+            # so prep keys stay stable when one is added
+            "resampler": component_fingerprint(NoResampling()),
+        }
+
+
+def _fingerprint(payload: dict) -> str:
+    """Stable hex digest of a JSON-serializable payload."""
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]

@@ -36,6 +36,9 @@ class RunResult:
     test_metrics_incomplete: Dict[str, float] = field(default_factory=dict)
     test_metrics_complete: Dict[str, float] = field(default_factory=dict)
     sizes: Dict[str, int] = field(default_factory=dict)
+    # deterministic configuration fingerprint stamped by the plan/executor
+    # layer; lets a store index completed runs and skip them on resume
+    run_key: Optional[str] = None
 
     @property
     def best_candidate(self) -> CandidateResult:
@@ -61,6 +64,7 @@ class RunResult:
             test_metrics_incomplete=data.get("test_metrics_incomplete", {}),
             test_metrics_complete=data.get("test_metrics_complete", {}),
             sizes=data.get("sizes", {}),
+            run_key=data.get("run_key"),
         )
 
     @staticmethod
@@ -80,15 +84,37 @@ class ResultsStore:
         with open(self.path, "a") as handle:
             handle.write(result.to_json() + "\n")
 
-    def load(self) -> List[RunResult]:
+    def extend(self, results: List[RunResult]) -> None:
+        """Append a batch of results with a single open/write."""
+        if not results:
+            return
+        with open(self.path, "a") as handle:
+            handle.write("".join(result.to_json() + "\n" for result in results))
+
+    def run_keys(self) -> "set[str]":
+        """Fingerprints of every stored run that carries one."""
+        return {r.run_key for r in self.load(strict=False) if r.run_key}
+
+    def load(self, strict: bool = True) -> List[RunResult]:
+        """Read every stored result.
+
+        With ``strict=False``, unparseable lines (e.g. a final line torn by
+        an interrupted write — the very situation ``resume`` recovers from)
+        are skipped instead of raising.
+        """
         if not os.path.exists(self.path):
             return []
         results = []
         with open(self.path) as handle:
             for line in handle:
                 line = line.strip()
-                if line:
+                if not line:
+                    continue
+                try:
                     results.append(RunResult.from_json(line))
+                except (ValueError, KeyError, TypeError):
+                    if strict:
+                        raise
         return results
 
 
@@ -121,5 +147,7 @@ def results_to_rows(results: List[RunResult]) -> List[dict]:
         )
         if validation_accuracy is not None:
             row["validation_accuracy"] = validation_accuracy
+        if result.run_key is not None:
+            row["run_key"] = result.run_key
         rows.append(row)
     return rows

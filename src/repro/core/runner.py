@@ -1,58 +1,31 @@
 """Grid runner: execute experiment configurations over seeds × interventions.
 
 This is the workhorse behind the paper's studies ("we leverage 16 different
-random seeds ... and execute 1,344 runs in total"): the caller supplies the
-axes to sweep; the runner executes one :class:`Experiment` per combination
-and collects the :class:`RunResult` records.
+random seeds ... and execute 1,344 runs in total"). Since the staged-engine
+refactor it is a thin façade: :class:`~repro.core.plan.GridSpec` expands
+into serializable run configurations (the *plan*), and an executor backend
+(:mod:`repro.core.executors`) schedules them — serially or across
+processes — while deduplicating shared preparation work.
 """
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, List, Optional, Tuple, Union
 
 from ..datasets import DatasetSpec, load_dataset
 from ..frame import DataFrame
-from .components import Learner, MissingValueHandler, PostProcessor, PreProcessor
-from .experiment import Experiment
-from .interventions import NoIntervention
+from .executors import (
+    ExecutionPlan,
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from .plan import GridSpec, Intervention, route_intervention
 from .results import ResultsStore, RunResult
 
-# an intervention slot is either a pre-processor or a post-processor; the
-# runner wires it into the right lifecycle stage
-Intervention = Union[PreProcessor, PostProcessor]
-
-
-@dataclass
-class GridSpec:
-    """Axes of an experiment sweep.
-
-    Each factory in ``interventions``/``learners``/... is a zero-argument
-    callable producing a *fresh* component, so state never leaks between
-    runs.
-    """
-
-    seeds: Sequence[int]
-    learners: Sequence[Callable[[], Learner]]
-    interventions: Sequence[Callable[[], Intervention]] = field(
-        default_factory=lambda: [NoIntervention]
-    )
-    missing_value_handlers: Sequence[Callable[[], Optional[MissingValueHandler]]] = field(
-        default_factory=lambda: [lambda: None]
-    )
-    scalers: Sequence[Callable[[], object]] = field(
-        default_factory=lambda: [lambda: None]
-    )
-
-    def size(self) -> int:
-        return (
-            len(self.seeds)
-            * len(self.learners)
-            * len(self.interventions)
-            * len(self.missing_value_handlers)
-            * len(self.scalers)
-        )
+# backward-compatible aliases: GridSpec and the intervention router lived
+# here before the plan/executor split
+_route_intervention = route_intervention
 
 
 def run_grid(
@@ -62,59 +35,42 @@ def run_grid(
     dataset_size: Optional[int] = None,
     results_store: Optional[ResultsStore] = None,
     progress: Optional[Callable[[int, int, RunResult], None]] = None,
+    jobs: int = 1,
+    resume: bool = False,
+    executor: Optional[Executor] = None,
+    dataset_fingerprint: Optional[str] = None,
 ) -> List[RunResult]:
     """Run every combination in the grid; returns the result records.
 
     ``dataset`` is a registered dataset name (generated with seed 0) or an
-    explicit ``(frame, spec)`` pair.
+    explicit ``(frame, spec)`` pair. ``jobs`` > 1 selects the process-pool
+    backend; pass an explicit ``executor`` for full control. With
+    ``resume=True`` (requires ``results_store``), combinations whose
+    ``run_key`` is already stored are returned from the store instead of
+    recomputed. Results always come back in grid-expansion order.
     """
     if isinstance(dataset, str):
         frame, spec = load_dataset(dataset, n=dataset_size)
     else:
         frame, spec = dataset
 
-    combos = list(
-        itertools.product(
-            grid.seeds,
-            grid.learners,
-            grid.interventions,
-            grid.missing_value_handlers,
-            grid.scalers,
-        )
+    plan = ExecutionPlan.for_grid(
+        frame,
+        spec,
+        grid,
+        protected_attribute=protected_attribute,
+        dataset_fingerprint=dataset_fingerprint,
     )
-    results: List[RunResult] = []
-    for index, (seed, learner_f, intervention_f, handler_f, scaler_f) in enumerate(combos):
-        intervention = intervention_f()
-        pre, post = _route_intervention(intervention)
-        experiment = Experiment(
-            frame=frame,
-            spec=spec,
-            random_seed=seed,
-            learner=learner_f(),
-            missing_value_handler=handler_f(),
-            numeric_attribute_scaler=scaler_f(),
-            pre_processor=pre,
-            post_processor=post,
-            protected_attribute=protected_attribute,
-            results_store=results_store,
-        )
-        result = experiment.run()
-        results.append(result)
-        if progress is not None:
-            progress(index + 1, len(combos), result)
-    return results
+    if executor is None:
+        executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    return executor.run(
+        plan, results_store=results_store, resume=resume, progress=progress
+    )
 
 
-def _route_intervention(
-    intervention: Intervention,
-) -> Tuple[Optional[PreProcessor], Optional[PostProcessor]]:
-    """Place an intervention in the pre- or post-processing slot."""
-    if isinstance(intervention, NoIntervention):
-        return intervention, None
-    if isinstance(intervention, PreProcessor):
-        return intervention, None
-    if isinstance(intervention, PostProcessor):
-        return None, intervention
-    raise TypeError(
-        f"{type(intervention).__name__} is neither a PreProcessor nor a PostProcessor"
-    )
+__all__ = [
+    "GridSpec",
+    "Intervention",
+    "run_grid",
+    "route_intervention",
+]

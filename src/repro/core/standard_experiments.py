@@ -7,10 +7,11 @@ in the paper's Section 4 example.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, List, Optional
 
 from ..datasets import load_dataset
 from .experiment import Experiment
+from .results import ResultsStore, RunResult
 
 
 class _StandardExperiment(Experiment):
@@ -29,6 +30,49 @@ class _StandardExperiment(Experiment):
             self.dataset_name, n=dataset_size, seed=dataset_seed
         )
         super().__init__(frame=frame, spec=spec, random_seed=random_seed, **kwargs)
+
+    @classmethod
+    def run_grid(
+        cls,
+        grid,
+        dataset_size: Optional[int] = None,
+        dataset_seed: int = 0,
+        protected_attribute: Optional[str] = None,
+        results_store: Optional[ResultsStore] = None,
+        progress: Optional[Callable[[int, int, RunResult], None]] = None,
+        jobs: int = 1,
+        resume: bool = False,
+        executor=None,
+    ) -> List[RunResult]:
+        """Run a :class:`~repro.core.plan.GridSpec` sweep on this dataset.
+
+        Same engine as :func:`repro.core.run_grid` — ``jobs`` selects the
+        parallel backend, ``resume`` skips runs already in the store —
+        bound to the class's generated dataset, e.g.
+        ``AdultExperiment.run_grid(grid, jobs=4)``.
+        """
+        from .runner import run_grid as _run_grid
+
+        frame, spec = load_dataset(cls.dataset_name, n=dataset_size, seed=dataset_seed)
+        return _run_grid(
+            (frame, spec),
+            grid,
+            protected_attribute=protected_attribute,
+            results_store=results_store,
+            progress=progress,
+            jobs=jobs,
+            resume=resume,
+            executor=executor,
+            # generation seed changes content but not shape, so fold it
+            # into the resume fingerprint — but keep the default seed on
+            # the canonical format so stores are shared with plain
+            # run_grid over the same generated dataset
+            dataset_fingerprint=(
+                None
+                if dataset_seed == 0
+                else f"{spec.name}|rows={frame.num_rows}|gen_seed={dataset_seed}"
+            ),
+        )
 
 
 class AdultExperiment(_StandardExperiment):

@@ -22,6 +22,15 @@ class TestParser:
         args = build_parser().parse_args(["grid", "--dataset", "ricci"])
         assert args.seeds == 3
         assert "none" in args.interventions
+        assert args.jobs == 1
+        assert args.resume is False
+
+    def test_grid_jobs_and_resume_flags(self):
+        args = build_parser().parse_args(
+            ["grid", "--dataset", "ricci", "--jobs", "4", "--resume"]
+        )
+        assert args.jobs == 4
+        assert args.resume is True
 
 
 class TestCommands:
@@ -99,6 +108,35 @@ class TestCommands:
             "--interventions", "none", "--output", output,
         ])
         assert code == 0
+        from repro.core import ResultsStore
+
+        assert len(ResultsStore(output).load()) == 2
+
+    def test_grid_parallel_jobs(self, capsys):
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "2",
+            "--interventions", "none", "--jobs", "2",
+        ])
+        assert code == 0
+        assert "NoIntervention" in capsys.readouterr().out
+
+    def test_grid_resume_requires_output(self, capsys):
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "1",
+            "--interventions", "none", "--resume",
+        ])
+        assert code == 2
+        assert "--resume requires --output" in capsys.readouterr().err
+
+    def test_grid_resume_skips_stored_runs(self, tmp_path, capsys):
+        output = str(tmp_path / "runs.jsonl")
+        argv = [
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "2",
+            "--interventions", "none", "--output", output, "--resume",
+        ]
+        assert main(argv) == 0
+        capsys.readouterr()
+        assert main(argv) == 0  # second pass resumes, no duplicates appended
         from repro.core import ResultsStore
 
         assert len(ResultsStore(output).load()) == 2
