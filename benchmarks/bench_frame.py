@@ -1,0 +1,185 @@
+"""Micro-benchmarks for the frame substrate hot paths.
+
+Covers the row-at-a-time anti-pattern sites that the dictionary-encoding
+refactor vectorized: categorical column construction, one-hot fit/transform,
+group-by masks, CSV round-trip, and row selection — all on Adult-sized data.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_frame.py                    # print table
+    PYTHONPATH=src python benchmarks/bench_frame.py --record baseline  # object-array numbers
+    PYTHONPATH=src python benchmarks/bench_frame.py --record current   # coded-column numbers
+    PYTHONPATH=src python benchmarks/bench_frame.py --smoke            # tiny CI sanity run
+
+``--record`` merges the timings into ``benchmarks/BENCH_frame.json``
+under the given phase key and, when both phases are present, recomputes the
+per-benchmark speedup table. ``--smoke`` runs every benchmark once at a small
+scale and verifies correctness invariants, so CI catches a vectorized path
+silently regressing to a Python loop (or breaking outright) without paying
+for full-size timing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.datasets import generate_adult
+from repro.frame import Column, group_missing_rates, groupby_aggregate, read_csv, write_csv
+from repro.learn import OneHotEncoder
+
+# committed next to the benchmark (benchmarks/results/ is gitignored) so
+# the perf trajectory is recorded in-repo
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_frame.json")
+
+FULL_ROWS = 32561
+SMOKE_ROWS = 2000
+
+
+def _encoder_input(frame, names):
+    """What the featurizer hands the encoder in this phase of the codebase.
+
+    Coded columns are passed as :class:`Column` objects (the fast path);
+    the pre-refactor object-array implementation gets raw value arrays.
+    """
+    cols = [frame.col(c) for c in names]
+    if hasattr(cols[0], "codes"):
+        return cols
+    return [c.values for c in cols]
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(n_rows: int, repeats: int) -> dict:
+    frame = generate_adult(n=n_rows, seed=0)
+    categorical = [
+        "workclass", "education", "marital_status", "occupation",
+        "relationship", "race", "sex", "native_country",
+    ]
+    # raw object arrays (decoded view) feed the construction benchmark
+    raw = {name: np.array(list(frame[name]), dtype=object) for name in categorical}
+
+    timings = {}
+
+    timings["column_construction"] = _time(
+        lambda: [Column.categorical(name, raw[name]) for name in categorical], repeats
+    )
+
+    train = frame.mask(np.arange(n_rows) < int(0.7 * n_rows))
+    rest = frame.mask(np.arange(n_rows) >= int(0.7 * n_rows))
+    fit_input = _encoder_input(train, categorical)
+    transform_input = _encoder_input(rest, categorical)
+
+    timings["onehot_fit"] = _time(lambda: OneHotEncoder().fit(fit_input), repeats)
+    encoder = OneHotEncoder().fit(fit_input)
+    timings["onehot_transform"] = _time(lambda: encoder.transform(transform_input), repeats)
+
+    def _groupby():
+        group_missing_rates(frame, "race", "native_country")
+        groupby_aggregate(frame, "education", "age", np.mean)
+
+    timings["groupby_masks"] = _time(_groupby, repeats)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "adult.csv")
+
+        def _roundtrip():
+            write_csv(frame, path)
+            read_csv(path, kinds=frame.kinds())
+
+        timings["csv_roundtrip"] = _time(_roundtrip, repeats)
+
+    rng = np.random.default_rng(0)
+    order = rng.permutation(n_rows)
+    keep = rng.random(n_rows) < 0.5
+    timings["take_mask"] = _time(lambda: (frame.take(order), frame.mask(keep)), repeats)
+
+    return timings
+
+
+def check_invariants(n_rows: int) -> None:
+    """Correctness spot-checks on the benchmarked paths (CI smoke gate)."""
+    frame = generate_adult(n=n_rows, seed=0)
+    encoder = OneHotEncoder().fit(_encoder_input(frame, ["race", "sex"]))
+    out = encoder.transform(_encoder_input(frame, ["race", "sex"]))
+    # every row one-hot in each feature block
+    assert np.allclose(out.sum(axis=1), 2.0), "one-hot rows must sum to #features"
+    rates = group_missing_rates(frame, "race", "native_country")
+    assert set(rates) == set(v for v in frame.col("race").unique())
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "adult.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert back.equals(frame), "CSV round-trip must be lossless"
+
+
+def render(timings: dict, n_rows: int) -> str:
+    lines = [f"bench_frame (n={n_rows})", "-" * 44]
+    for name, seconds in timings.items():
+        lines.append(f"{name:24s} {seconds * 1e3:10.2f} ms")
+    return "\n".join(lines)
+
+
+def record(phase: str, timings: dict, n_rows: int, repeats: int) -> dict:
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    data.setdefault("meta", {})[phase] = {"n_rows": n_rows, "repeats": repeats}
+    data[phase] = timings
+    if "baseline" in data and "current" in data:
+        data["speedup"] = {
+            name: round(data["baseline"][name] / data["current"][name], 2)
+            for name in data["current"]
+            if name in data["baseline"] and data["current"][name] > 0
+        }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", choices=["baseline", "current"])
+    parser.add_argument("--smoke", action="store_true", help="tiny run + invariant checks")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    n_rows = args.rows or (SMOKE_ROWS if args.smoke else FULL_ROWS)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    if args.smoke:
+        check_invariants(n_rows)
+    timings = run_benchmarks(n_rows, repeats)
+    print(render(timings, n_rows))
+    if args.record:
+        data = record(args.record, timings, n_rows, repeats)
+        if "speedup" in data:
+            print("\nspeedup vs baseline:")
+            for name, ratio in sorted(data["speedup"].items()):
+                print(f"  {name:24s} {ratio:6.2f}x")
+    if args.smoke:
+        print("\nsmoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

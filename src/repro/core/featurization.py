@@ -65,9 +65,10 @@ class Featurizer:
                 else self.categorical_encoder
             )
             # target-style encoders consume the training labels; one-hot and
-            # frequency encoders ignore them
+            # frequency encoders ignore them. Columns are passed whole so the
+            # encoders work on dictionary codes, not decoded object arrays.
             self.encoder_ = clone(template).fit(
-                [train_frame[c] for c in self._categorical],
+                [train_frame.col(c) for c in self._categorical],
                 y=self.spec.label_binary(train_frame),
             )
         self.feature_names_ = self._build_feature_names()
@@ -87,7 +88,9 @@ class Featurizer:
                 )
             blocks.append(self.scaler_.transform(matrix))
         if self._categorical:
-            blocks.append(self.encoder_.transform([frame[c] for c in self._categorical]))
+            blocks.append(
+                self.encoder_.transform([frame.col(c) for c in self._categorical])
+            )
         features = np.hstack(blocks) if blocks else np.zeros((frame.num_rows, 0))
         protected = self.spec.protected(self.protected_attribute).binary_column(frame)
         labels = self.spec.label_binary(frame)

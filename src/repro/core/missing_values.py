@@ -136,16 +136,21 @@ class LearnedImputer(MissingValueHandler):
         self._fallback = ModeImputer().fit(train_frame, self._feature_columns, seed)
 
         self._models: Dict[str, dict] = {}
-        completed = self._fallback.handle_missing(train_frame)
+        # one fitted encoder (and one encoded matrix) is shared across all
+        # imputation targets: per-column statistics are independent, so the
+        # per-target predictor matrix is just a column slice of the full one
+        self._encoder = None
+        if targets:
+            completed = self._fallback.handle_missing(train_frame)
+            self._encoder = _PredictorEncoder(self._feature_columns).fit(completed)
+            full_matrix = self._encoder.transform(completed)
         for target in targets:
-            predictors = [c for c in self._feature_columns if c != target]
-            encoder = _PredictorEncoder(predictors).fit(completed)
             observed = ~train_frame.col(target).missing_mask()
             if observed.sum() < 5:
                 # too few observed values to learn from; fall back to mode/mean
                 self._models[target] = {"kind": "fallback"}
                 continue
-            X = encoder.transform(completed.mask(observed))
+            X = self._encoder.submatrix(full_matrix, exclude=target)[observed]
             target_column = train_frame.col(target)
             if target_column.is_categorical:
                 y = np.asarray(
@@ -161,15 +166,14 @@ class LearnedImputer(MissingValueHandler):
                 ).fit(X, y)
                 self._models[target] = {
                     "kind": "classifier",
-                    "encoder": encoder,
                     "model": model,
                 }
             else:
                 y = target_column.values[observed].astype(np.float64)
                 self._models[target] = {
                     "kind": "knn",
-                    "encoder": encoder,
                     "train_X": X,
+                    "train_sq": (X**2).sum(axis=1),
                     "train_y": y,
                 }
         return self
@@ -179,6 +183,7 @@ class LearnedImputer(MissingValueHandler):
             raise RuntimeError("LearnedImputer must be fit before handle_missing")
         out = frame
         completed_predictors = self._fallback.handle_missing(frame)
+        full_matrix = None  # encoded lazily, once, shared by every target
         for target in self._targets:
             column = out.col(target)
             mask = column.missing_mask()
@@ -190,13 +195,18 @@ class LearnedImputer(MissingValueHandler):
                     column.fill_missing(self._fallback._fill_values[target])
                 )
                 continue
-            X = spec["encoder"].transform(completed_predictors.mask(mask))
+            if full_matrix is None:
+                full_matrix = self._encoder.transform(completed_predictors)
+            X = self._encoder.submatrix(full_matrix, exclude=target)[mask]
             if spec["kind"] == "classifier":
                 predictions = spec["model"].predict(X)
                 out = out.with_column(column.set_where(mask, predictions))
             else:
                 neighbors = nearest_neighbor_indices(
-                    spec["train_X"], X, self.n_neighbors
+                    spec["train_X"],
+                    X,
+                    self.n_neighbors,
+                    train_sq=spec["train_sq"],
                 )
                 predictions = spec["train_y"][neighbors].mean(axis=1)
                 out = out.with_column(column.set_where(mask, predictions))
@@ -228,6 +238,12 @@ class _PredictorEncoder:
     Numeric columns are standardized; categorical columns are one-hot
     encoded with the unseen-category dimension. Statistics come from the
     frame passed to :meth:`fit` (the completed training split).
+
+    Because both transforms are per-column and row-wise, one encoder fit on
+    *all* feature columns serves every imputation target: the matrix a
+    target-specific encoder would produce is exactly :meth:`submatrix` of
+    the full transform, so the split → encode work happens once per frame
+    instead of once per target.
     """
 
     def __init__(self, columns: List[str]):
@@ -240,8 +256,20 @@ class _PredictorEncoder:
             self.scaler_ = StandardScaler().fit(frame.to_matrix(self.numeric_))
         if self.categorical_:
             self.encoder_ = OneHotEncoder().fit(
-                [frame[c] for c in self.categorical_]
+                [frame.col(c) for c in self.categorical_]
             )
+        # output-column span of every input column, for submatrix slicing
+        self.spans_: Dict[str, np.ndarray] = {}
+        start = 0
+        for name in self.numeric_:
+            self.spans_[name] = np.arange(start, start + 1)
+            start += 1
+        if self.categorical_:
+            for name, categories in zip(self.categorical_, self.encoder_.categories_):
+                width = len(categories) + 1  # + the unseen slot
+                self.spans_[name] = np.arange(start, start + width)
+                start += width
+        self.n_outputs_ = start
         return self
 
     def transform(self, frame: DataFrame) -> np.ndarray:
@@ -249,7 +277,25 @@ class _PredictorEncoder:
         if self.numeric_:
             blocks.append(self.scaler_.transform(frame.to_matrix(self.numeric_)))
         if self.categorical_:
-            blocks.append(self.encoder_.transform([frame[c] for c in self.categorical_]))
+            blocks.append(
+                self.encoder_.transform([frame.col(c) for c in self.categorical_])
+            )
         if not blocks:
             return np.zeros((frame.num_rows, 1))
         return np.hstack(blocks)
+
+    def submatrix(self, matrix: np.ndarray, exclude: str) -> np.ndarray:
+        """The encoded matrix with ``exclude``'s output columns dropped.
+
+        Matches what an encoder fit on the predictor set *minus* ``exclude``
+        would transform to — including the all-zeros single column an empty
+        predictor set produces.
+        """
+        span = self.spans_.get(exclude)
+        if span is None:
+            return matrix
+        keep = np.ones(self.n_outputs_, dtype=bool)
+        keep[span] = False
+        if not keep.any():
+            return np.zeros((matrix.shape[0], 1))
+        return matrix[:, keep]

@@ -161,6 +161,8 @@ def generate_adult(n: int = 32561, seed: int = 0) -> DataFrame:
     workclass[neither] = None
     occupation[neither] = None
 
+    # kinds pinned from the spec so every column is dictionary-encoded /
+    # typed directly, skipping per-value kind inference over 32k rows
     return DataFrame.from_dict(
         {
             "age": age,
@@ -178,5 +180,6 @@ def generate_adult(n: int = 32561, seed: int = 0) -> DataFrame:
             "hours_per_week": hours,
             "native_country": native_country,
             "income": income,
-        }
+        },
+        kinds=ADULT_SPEC.column_kinds(),
     )

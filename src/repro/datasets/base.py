@@ -26,11 +26,7 @@ class ProtectedAttribute:
 
     def binary_column(self, frame: DataFrame) -> np.ndarray:
         """1.0 for privileged rows, 0.0 otherwise (missing counts as 0.0)."""
-        values = frame[self.column]
-        privileged = set(self.privileged_values)
-        return np.asarray(
-            [1.0 if v in privileged else 0.0 for v in values], dtype=np.float64
-        )
+        return frame.col(self.column).isin(self.privileged_values).astype(np.float64)
 
 
 @dataclass(frozen=True)
@@ -67,6 +63,22 @@ class DatasetSpec:
     @property
     def feature_columns(self) -> List[str]:
         return list(self.numeric_features) + list(self.categorical_features)
+
+    def column_kinds(self) -> Dict[str, str]:
+        """Frame kinds for every column the spec names.
+
+        Loaders pass this to :meth:`DataFrame.from_dict` so columns are
+        dictionary-encoded / typed directly instead of kind-inferred by a
+        per-value scan. Label and protected columns are categorical.
+        """
+        from ..frame import CATEGORICAL, NUMERIC
+
+        kinds = {c: NUMERIC for c in self.numeric_features}
+        kinds.update({c: CATEGORICAL for c in self.categorical_features})
+        kinds[self.label_column] = CATEGORICAL
+        for attribute in self.protected_attributes:
+            kinds.setdefault(attribute.column, CATEGORICAL)
+        return kinds
 
     def protected(self, column: Optional[str] = None) -> ProtectedAttribute:
         column = column or self.default_protected
@@ -118,8 +130,4 @@ class DatasetSpec:
 
     def label_binary(self, frame: DataFrame) -> np.ndarray:
         """Labels as 1.0 (favorable) / 0.0 (unfavorable)."""
-        values = frame[self.label_column]
-        return np.asarray(
-            [1.0 if v == self.favorable_value else 0.0 for v in values],
-            dtype=np.float64,
-        )
+        return frame.col(self.label_column).eq(self.favorable_value).astype(np.float64)

@@ -143,5 +143,6 @@ def generate_germancredit(n: int = 1000, seed: int = 0) -> DataFrame:
             "foreign_worker": foreign,
             "sex": sex,
             "credit_risk": credit_risk,
-        }
+        },
+        kinds=GERMANCREDIT_SPEC.column_kinds(),
     )

@@ -75,5 +75,5 @@ def generate_payment(n: int = 5000, seed: int = 0) -> DataFrame:
             "newsletter": newsletter,
             "offer_invoice": offer,
         },
-        kinds={"age": "numeric"},
+        kinds=PAYMENT_SPEC.column_kinds(),
     )

@@ -89,5 +89,6 @@ def generate_propublica(n: int = 6172, seed: int = 0) -> DataFrame:
             "c_charge_degree": charge,
             "decile_score": decile,
             "two_year_recid": recid,
-        }
+        },
+        kinds=PROPUBLICA_SPEC.column_kinds(),
     )

@@ -65,5 +65,6 @@ def generate_ricci(n: int = 118, seed: int = 0) -> DataFrame:
             "oral": oral,
             "combine": combine,
             "promoted": promoted,
-        }
+        },
+        kinds=RICCI_SPEC.column_kinds(),
     )

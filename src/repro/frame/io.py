@@ -2,37 +2,101 @@
 
 Experiments write their per-run metrics as CSV/JSON; the reader exists so
 that analysis code (and users with their own data) can load frames without
-pandas. Missing values serialize as empty fields.
+pandas. Missing values serialize as empty fields; in a single-column frame
+a missing value is quoted (``""``) so it never serializes as a blank line,
+which readers skip. Integral float columns render as integers (``5``
+instead of ``5.0``) — a byte-level change from the old ``repr`` formatting
+that parses back to the identical float64 value.
+
+Both directions are column-wise and vectorized. The writer formats each
+column in one pass (numeric via ``np.where(isnan, '', ...)``-style masking,
+categorical by indexing the category table with the codes) and emits the
+body with batched row joins; quoting is only needed when a category or
+column name contains a CSV metacharacter, which is detected on the (small)
+category tables, so the fallback to :mod:`csv` machinery is taken exactly
+when the data requires it. The reader mirrors this: quote-free content is
+split wholesale and dictionary-encoded per column; anything quoted (or with
+``\r`` line endings) goes through ``csv.reader``.
 """
 
 from __future__ import annotations
 
 import csv
-from typing import Dict, Optional, Sequence
+import io
+from itertools import repeat
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from .column import CATEGORICAL, NUMERIC, Column
 from .dataframe import DataFrame
 
+_CSV_SPECIALS = (",", '"', "\n", "\r")
+
 
 def write_csv(frame: DataFrame, path: str) -> None:
     """Write a frame to CSV with a header row; missing values become ''."""
     names = frame.columns
-    arrays = [frame[n] for n in names]
-    kinds = frame.kinds()
+    formatted = []
+    plain = not any(
+        any(special in name for special in _CSV_SPECIALS) for name in names
+    )
+    for name in names:
+        column = frame.col(name)
+        if column.is_numeric:
+            formatted.append(_format_numeric(column.values))
+        else:
+            # quoting is decided on the category table, not the row data:
+            # the table holds every distinct string the column can emit
+            plain = plain and not any(
+                any(special in category for special in _CSV_SPECIALS)
+                for category in column.categories
+            )
+            formatted.append(column._decode_table(fill="")[column.codes])
+    if plain and len(names) == 1:
+        # a lone empty field would serialize as a blank line, which readers
+        # skip; csv.writer quotes it ("") so the row survives the round-trip
+        plain = not np.any(formatted[0] == "")
+    if plain:
+        rows = zip(*[block.tolist() for block in formatted])
+        body = "\n".join(map(",".join, rows))
+        with open(path, "w", newline="") as handle:
+            handle.write(",".join(names) + "\n" + body + "\n")
+        return
     with open(path, "w", newline="") as handle:
-        writer = csv.writer(handle)
+        # same LF line endings as the plain fast path, so the newline
+        # convention never depends on whether the data needed quoting
+        writer = csv.writer(handle, lineterminator="\n")
         writer.writerow(names)
-        for i in range(frame.num_rows):
-            row = []
-            for name, arr in zip(names, arrays):
-                v = arr[i]
-                if kinds[name] == NUMERIC:
-                    row.append("" if np.isnan(v) else repr(float(v)))
-                else:
-                    row.append("" if v is None else str(v))
-            writer.writerow(row)
+        writer.writerows(zip(*formatted))
+
+
+def _format_numeric(values: np.ndarray) -> np.ndarray:
+    """Render a float column to strings; NaN becomes the empty field.
+
+    All-integral columns (the common case for count-like attributes) render
+    through the much cheaper int64 formatter; everything else uses numpy's
+    shortest-repr float formatting.
+    """
+    nan_mask = np.isnan(values)
+    filled = np.where(nan_mask, 0.0, values)
+    integral = bool(
+        np.all(
+            np.isfinite(filled)
+            & (np.abs(filled) < 2**63)
+            & (filled == np.floor(filled))
+        )
+        # int64 would render -0.0 as "0", losing the sign bit
+        and not np.any(np.signbit(values) & (values == 0.0))
+    )
+    # format only the distinct values (typically far fewer than rows) and
+    # broadcast the rendered strings back through the inverse index
+    distinct, inverse = np.unique(
+        filled.astype(np.int64) if integral else values, return_inverse=True
+    )
+    strings = distinct.astype(str)[inverse]
+    strings[nan_mask] = ""
+    return strings
 
 
 def read_csv(
@@ -47,12 +111,61 @@ def read_csv(
     non-empty fields all parse as floats is numeric).
     """
     with open(path, newline="") as handle:
-        reader = csv.reader(handle)
-        try:
-            header = next(reader)
-        except StopIteration:
-            raise ValueError(f"{path}: empty CSV") from None
-        raw_rows = [row for row in reader if row]
+        content = handle.read()
+    kinds = dict(kinds or {})
+    if numeric_columns:
+        for name in numeric_columns:
+            kinds.setdefault(name, NUMERIC)
+    if '"' not in content and "\r" not in content:
+        header, columns = _split_plain(content, path)
+    else:
+        header, columns = _split_quoted(content, path)
+    return DataFrame(
+        [
+            _build_column(name, fields, kinds.get(name), path)
+            for name, fields in zip(header, columns)
+        ]
+    )
+
+
+def _split_plain(content: str, path: str) -> tuple:
+    """Split quote-free CSV text into a header and per-column field lists."""
+    lines = content.split("\n")
+    while lines and lines[-1] == "":
+        lines.pop()
+    if not lines:
+        raise ValueError(f"{path}: empty CSV")
+    header = lines[0].split(",")
+    del lines[0]
+    if "" in lines:
+        lines = [line for line in lines if line]
+    if not lines:
+        raise ValueError(f"{path}: CSV has a header but no data rows")
+    n_cols = len(header)
+    # exact per-row field-count validation via C-level comma counting, so
+    # ragged rows can never silently misalign the column slices below
+    widths = list(map(str.count, lines, repeat(",")))
+    expected = n_cols - 1
+    if min(widths) != expected or max(widths) != expected:
+        # data-row-based numbering, matching the csv.reader path (which
+        # also filters blank rows before numbering)
+        bad = next(i for i, w in enumerate(widths) if w != expected)
+        raise ValueError(
+            f"{path}: row {bad + 2} has {widths[bad] + 1} fields, "
+            f"expected {n_cols}"
+        )
+    flat = ",".join(lines).split(",")
+    return header, [flat[j::n_cols] for j in range(n_cols)]
+
+
+def _split_quoted(content: str, path: str) -> tuple:
+    """Field splitting through ``csv.reader`` (quoted or CR-terminated data)."""
+    reader = csv.reader(io.StringIO(content))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError(f"{path}: empty CSV") from None
+    raw_rows = [row for row in reader if row]
     if not raw_rows:
         raise ValueError(f"{path}: CSV has a header but no data rows")
     n_cols = len(header)
@@ -61,34 +174,45 @@ def read_csv(
             raise ValueError(
                 f"{path}: row {i + 2} has {len(row)} fields, expected {n_cols}"
             )
-    kinds = dict(kinds or {})
-    if numeric_columns:
-        for name in numeric_columns:
-            kinds.setdefault(name, NUMERIC)
-
-    columns = []
-    for j, name in enumerate(header):
-        raw = [row[j] for row in raw_rows]
-        kind = kinds.get(name)
-        if kind is None:
-            kind = NUMERIC if _all_parse_as_float(raw) else CATEGORICAL
-        if kind == NUMERIC:
-            values = [None if field == "" else float(field) for field in raw]
-            columns.append(Column.numeric(name, values))
-        else:
-            values = [None if field == "" else field for field in raw]
-            columns.append(Column.categorical(name, values))
-    return DataFrame(columns)
+    return header, [[row[j] for row in raw_rows] for j in range(n_cols)]
 
 
-def _all_parse_as_float(fields) -> bool:
-    saw_value = False
-    for field in fields:
-        if field == "":
-            continue
-        saw_value = True
-        try:
-            float(field)
-        except ValueError:
-            return False
-    return saw_value
+def _build_column(
+    name: str, fields: List[str], kind: Optional[str], path: str
+) -> Column:
+    if kind is None:
+        kind = NUMERIC if _all_parse_as_float(fields) else CATEGORICAL
+    if kind == NUMERIC:
+        return Column(name, _parse_numeric(fields, name, path), NUMERIC)
+    # dictionary-encode straight from the raw string fields: distinct
+    # values via one set pass, codes via one C-level dict-lookup map
+    categories = sorted(set(fields) - {""})
+    index = {category: code for code, category in enumerate(categories)}
+    index[""] = -1
+    codes = np.asarray(list(map(index.__getitem__, fields)), dtype=np.int32)
+    table = np.empty(len(categories), dtype=object)
+    table[:] = categories
+    return Column._with_codes(name, codes, table)
+
+
+def _parse_numeric(fields: List[str], name: str, path: str) -> np.ndarray:
+    try:
+        return np.asarray(fields, dtype=np.float64)
+    except ValueError:
+        pass  # empty fields (or bad values): substitute NaN and retry
+    try:
+        return np.asarray(
+            [field if field else "nan" for field in fields], dtype=np.float64
+        )
+    except ValueError as exc:
+        raise ValueError(f"{path}: column {name!r}: {exc}") from None
+
+
+def _all_parse_as_float(fields: List[str]) -> bool:
+    if not any(fields):  # all-empty columns stay categorical
+        return False
+    try:
+        np.asarray([field if field else "nan" for field in fields], dtype=np.float64)
+    except ValueError:
+        return False
+    return True

@@ -40,15 +40,48 @@ def crosstab(frame: DataFrame, rows: str, cols: str) -> Dict:
     Missing values are bucketed under :data:`MISSING_LABEL` so that
     missingness structure (e.g. native-country by race in adult) is visible.
     """
-    row_values = frame[rows]
-    col_values = frame[cols]
-    table: Dict = {}
-    for rv, cv in zip(row_values, col_values):
+    row_col = frame.col(rows)
+    col_col = frame.col(cols)
+    if row_col.is_categorical and col_col.is_categorical:
+        # shift codes so missing (-1) lands in bucket 0, then count the
+        # observed (row, col) pairs sparsely — memory stays O(distinct
+        # pairs) even for ID-like high-cardinality columns
+        n_c = len(col_col.categories) + 1
+        combined = (row_col.codes + 1).astype(np.int64) * n_c + (col_col.codes + 1)
+        pairs, counts = np.unique(combined, return_counts=True)
+        row_labels = [MISSING_LABEL] + list(row_col.categories)
+        col_labels = [MISSING_LABEL] + list(col_col.categories)
+        table: Dict = {}
+        for pair, count in zip(pairs, counts):
+            ri, ci = divmod(int(pair), n_c)
+            table.setdefault(row_labels[ri], {})[col_labels[ci]] = int(count)
+        return table
+    table = {}
+    for rv, cv in zip(row_col.values, col_col.values):
         rv = MISSING_LABEL if _is_missing_scalar(rv) else rv
         cv = MISSING_LABEL if _is_missing_scalar(cv) else cv
         table.setdefault(rv, {})
         table[rv][cv] = table[rv].get(cv, 0) + 1
     return table
+
+
+def _group_masks(column) -> List:
+    """``(value, boolean_mask)`` per non-missing group value, sorted by str.
+
+    For dictionary-encoded columns each mask is a single ``codes == k``
+    comparison; the sorted category table already provides the ordering.
+    """
+    if column.is_categorical:
+        codes = column.codes
+        present = np.unique(codes[codes >= 0])
+        return [(column.categories[k], codes == k) for k in present]
+    values = column.values
+    return [
+        (value, np.asarray([v == value for v in values], dtype=bool))
+        for value in sorted(
+            {v for v in values if not _is_missing_scalar(v)}, key=str
+        )
+    ]
 
 
 def groupby_aggregate(
@@ -59,15 +92,13 @@ def groupby_aggregate(
 ) -> Dict:
     """Apply ``aggregate`` to ``column`` within each group of ``by``."""
     groups: Dict = {}
-    by_values = frame[by]
     target = frame.col(column)
-    for value in sorted({v for v in by_values if not _is_missing_scalar(v)}, key=str):
-        mask = np.asarray([v == value for v in by_values], dtype=bool)
+    for value, mask in _group_masks(frame.col(by)):
         sub = target.mask(mask)
         if sub.is_numeric:
             data = sub.values[~np.isnan(sub.values)]
         else:
-            data = np.asarray([v for v in sub.values if v is not None], dtype=object)
+            data = sub.values[sub.codes >= 0]
         groups[value] = aggregate(data)
     return groups
 
@@ -79,10 +110,8 @@ def group_missing_rates(frame: DataFrame, by: str, column: str) -> Dict:
     roughly four times more often for non-white than for white persons.
     """
     rates: Dict = {}
-    by_values = frame[by]
     missing = frame.col(column).missing_mask()
-    for value in sorted({v for v in by_values if not _is_missing_scalar(v)}, key=str):
-        mask = np.asarray([v == value for v in by_values], dtype=bool)
+    for value, mask in _group_masks(frame.col(by)):
         total = int(mask.sum())
         rates[value] = float(missing[mask].sum()) / total if total else float("nan")
     return rates

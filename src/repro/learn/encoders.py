@@ -20,41 +20,85 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..frame.column import sorted_position
 from .base import BaseEstimator, TransformerMixin
-from .preprocessing import OneHotEncoder, _as_object_columns
+from .preprocessing import MISSING_CATEGORY, OneHotEncoder, _as_categorical_columns
+
+
+def _key_counts(column, weights=None) -> tuple:
+    """Per-key tallies over a coded column, missing bucketed as ``<missing>``.
+
+    Returns ``(keys, totals, counts)``: one ``np.bincount`` over the shifted
+    codes (slot 0 = missing) per tally, with zero-occurrence keys dropped to
+    preserve the observed-keys-only dict shape. Without ``weights``,
+    ``totals`` *are* the occurrence counts. A category that is literally the
+    string ``<missing>`` folds into the missing bucket, matching the
+    stringify-then-count semantics of the object-array implementation.
+    """
+    shifted = column.codes + 1
+    minlength = len(column.categories) + 1
+    counts = np.bincount(shifted, minlength=minlength)
+    totals = (
+        np.bincount(shifted, weights=weights, minlength=minlength)
+        if weights is not None
+        else counts
+    )
+    literal = sorted_position(column.categories, MISSING_CATEGORY)
+    if literal >= 0:
+        counts = counts.copy()
+        counts[0] += counts[literal + 1]
+        counts[literal + 1] = 0
+        if weights is not None:
+            totals = totals.copy()
+            totals[0] += totals[literal + 1]
+            totals[literal + 1] = 0
+        else:
+            totals = counts
+    keys = np.concatenate(([MISSING_CATEGORY], column.categories))
+    present = counts > 0
+    return keys[present], totals[present], counts[present]
+
+
+def _code_lookup(column, table: dict, default: float) -> np.ndarray:
+    """Map a coded column through ``{key: value}`` in one fancy index.
+
+    The lookup table has one slot per category plus a trailing slot for
+    missing, so indexing with the raw codes (missing = ``-1``) resolves
+    every row without touching individual values.
+    """
+    lut = np.empty(len(column.categories) + 1, dtype=np.float64)
+    for i, category in enumerate(column.categories):
+        lut[i] = table.get(category, default)
+    lut[-1] = table.get(MISSING_CATEGORY, default)
+    return lut[column.codes]
 
 
 class FrequencyEncoder(BaseEstimator, TransformerMixin):
     """Encode each categorical value by its training-set frequency."""
 
     def fit(self, X, y=None) -> "FrequencyEncoder":
-        columns = _as_object_columns(X)
+        columns = _as_categorical_columns(X)
         self.frequencies_: List[dict] = []
-        for values in columns:
-            keys = [self._key(v) for v in values]
-            total = len(keys)
-            counts: dict = {}
-            for key in keys:
-                counts[key] = counts.get(key, 0) + 1
-            self.frequencies_.append({k: c / total for k, c in counts.items()})
+        for column in columns:
+            keys, counts, _ = _key_counts(column)
+            total = len(column)
+            self.frequencies_.append(
+                {key: count / total for key, count in zip(keys, counts)}
+            )
         return self
 
     def transform(self, X) -> np.ndarray:
         self._check_fitted("frequencies_")
-        columns = _as_object_columns(X)
+        columns = _as_categorical_columns(X)
         if len(columns) != len(self.frequencies_):
             raise ValueError(
                 f"X has {len(columns)} features, encoder was fit on "
                 f"{len(self.frequencies_)}"
             )
         blocks = []
-        for values, table in zip(columns, self.frequencies_):
+        for column, table in zip(columns, self.frequencies_):
             # unseen categories read as frequency 0 (they were never observed)
-            blocks.append(
-                np.asarray(
-                    [table.get(self._key(v), 0.0) for v in values], dtype=np.float64
-                ).reshape(-1, 1)
-            )
+            blocks.append(_code_lookup(column, table, 0.0).reshape(-1, 1))
         return np.hstack(blocks)
 
     def feature_names(self, input_names: Optional[Sequence[str]] = None) -> List[str]:
@@ -62,12 +106,6 @@ class FrequencyEncoder(BaseEstimator, TransformerMixin):
         if input_names is None:
             input_names = [f"x{i}" for i in range(len(self.frequencies_))]
         return [f"{name}:frequency" for name in input_names]
-
-    @staticmethod
-    def _key(value) -> str:
-        if value is None or (isinstance(value, float) and np.isnan(value)):
-            return "<missing>"
-        return str(value)
 
 
 class TargetEncoder(BaseEstimator, TransformerMixin):
@@ -86,44 +124,33 @@ class TargetEncoder(BaseEstimator, TransformerMixin):
         if y is None:
             raise ValueError("TargetEncoder requires the training labels at fit")
         y = np.asarray(y, dtype=np.float64).ravel()
-        columns = _as_object_columns(X)
-        for values in columns:
-            if len(values) != len(y):
+        columns = _as_categorical_columns(X)
+        for column in columns:
+            if len(column) != len(y):
                 raise ValueError("label length does not match feature rows")
         self.global_rate_ = float(y.mean())
         self.tables_: List[dict] = []
-        for values in columns:
-            sums: dict = {}
-            counts: dict = {}
-            for value, label in zip(values, y):
-                key = FrequencyEncoder._key(value)
-                sums[key] = sums.get(key, 0.0) + label
-                counts[key] = counts.get(key, 0) + 1
+        for column in columns:
+            keys, sums, counts = _key_counts(column, weights=y)
             table = {
-                key: (sums[key] + self.smoothing * self.global_rate_)
-                / (counts[key] + self.smoothing)
-                for key in sums
+                key: (label_sum + self.smoothing * self.global_rate_)
+                / (count + self.smoothing)
+                for key, label_sum, count in zip(keys, sums, counts)
             }
             self.tables_.append(table)
         return self
 
     def transform(self, X) -> np.ndarray:
         self._check_fitted("tables_")
-        columns = _as_object_columns(X)
+        columns = _as_categorical_columns(X)
         if len(columns) != len(self.tables_):
             raise ValueError(
                 f"X has {len(columns)} features, encoder was fit on {len(self.tables_)}"
             )
         blocks = []
-        for values, table in zip(columns, self.tables_):
+        for column, table in zip(columns, self.tables_):
             blocks.append(
-                np.asarray(
-                    [
-                        table.get(FrequencyEncoder._key(v), self.global_rate_)
-                        for v in values
-                    ],
-                    dtype=np.float64,
-                ).reshape(-1, 1)
+                _code_lookup(column, table, self.global_rate_).reshape(-1, 1)
             )
         return np.hstack(blocks)
 

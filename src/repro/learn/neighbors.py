@@ -18,18 +18,25 @@ from .base import (
 
 
 def nearest_neighbor_indices(
-    X_train: np.ndarray, X_query: np.ndarray, n_neighbors: int
+    X_train: np.ndarray,
+    X_query: np.ndarray,
+    n_neighbors: int,
+    train_sq: np.ndarray = None,
 ) -> np.ndarray:
     """Indices (into ``X_train``) of each query row's nearest neighbours.
 
-    Euclidean distance, computed blockwise to bound memory.
+    Euclidean distance, computed blockwise to bound memory. Callers that
+    query the same training matrix repeatedly (e.g. per-target imputation)
+    can pass ``train_sq = (X_train**2).sum(axis=1)`` to skip recomputing the
+    training-row norms on every call.
     """
     X_train = check_matrix(X_train, "X_train")
     X_query = check_matrix(X_query, "X_query")
     if X_train.shape[1] != X_query.shape[1]:
         raise ValueError("train and query dimensionality differ")
     k = min(n_neighbors, X_train.shape[0])
-    train_sq = (X_train**2).sum(axis=1)
+    if train_sq is None:
+        train_sq = (X_train**2).sum(axis=1)
     out = np.empty((X_query.shape[0], k), dtype=np.int64)
     block = 512
     for start in range(0, X_query.shape[0], block):

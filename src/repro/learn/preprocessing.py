@@ -14,6 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from ..frame.column import Column, remap_table, sorted_position
 from .base import BaseEstimator, TransformerMixin, check_matrix
 
 MISSING_CATEGORY = "<missing>"
@@ -147,30 +148,51 @@ class OneHotEncoder(BaseEstimator, TransformerMixin):
         self.handle_missing = handle_missing
 
     def fit(self, X, y=None) -> "OneHotEncoder":
-        columns = _as_object_columns(X)
+        columns = _as_categorical_columns(X)
         self.categories_: List[List[str]] = []
-        for values in columns:
-            values = self._resolve_missing(values)
-            categories = sorted({v for v in values})
-            self.categories_.append(categories)
+        for column in columns:
+            codes = column.codes
+            used = np.unique(codes)
+            has_missing = used.size > 0 and used[0] == -1
+            if has_missing and self.handle_missing == "error":
+                raise ValueError(
+                    "missing value encountered during one-hot encoding; "
+                    "impute first or use handle_missing='category'"
+                )
+            categories = list(column.categories[used[used >= 0]])
+            if has_missing and MISSING_CATEGORY not in categories:
+                # a literal "<missing>" category already covers the bucket
+                categories.append(MISSING_CATEGORY)
+            self.categories_.append(sorted(categories))
         return self
 
     def transform(self, X) -> np.ndarray:
         self._check_fitted("categories_")
-        columns = _as_object_columns(X)
+        columns = _as_categorical_columns(X)
         if len(columns) != len(self.categories_):
             raise ValueError(
                 f"X has {len(columns)} features, encoder was fit on "
                 f"{len(self.categories_)}"
             )
         blocks = []
-        for values, categories in zip(columns, self.categories_):
-            values = self._resolve_missing(values)
-            index = {c: i for i, c in enumerate(categories)}
+        for column, categories in zip(columns, self.categories_):
+            codes = column.codes
+            if self.handle_missing == "error" and (codes < 0).any():
+                raise ValueError(
+                    "missing value encountered during one-hot encoding; "
+                    "impute first or use handle_missing='category'"
+                )
             width = len(categories) + 1  # final slot: unseen values
-            block = np.zeros((len(values), width), dtype=np.float64)
-            for row, value in enumerate(values):
-                block[row, index.get(value, width - 1)] = 1.0
+            # remap the column's codes onto the fitted category order; the
+            # lookup table's last entry routes missing (-1) to its category
+            # (or to the unseen slot when fit never saw a missing value)
+            fitted = np.asarray(categories, dtype=object)
+            lut = remap_table(column.categories, fitted, default=width - 1)
+            missing_slot = sorted_position(fitted, MISSING_CATEGORY)
+            lut[-1] = missing_slot if missing_slot >= 0 else width - 1
+            target = lut[codes]
+            block = np.zeros((len(codes), width), dtype=np.float64)
+            block[np.arange(len(codes)), target] = 1.0
             blocks.append(block)
         if not blocks:
             return np.empty((0, 0))
@@ -189,37 +211,27 @@ class OneHotEncoder(BaseEstimator, TransformerMixin):
             names.append(f"{feature}={UNSEEN_CATEGORY}")
         return names
 
-    def _resolve_missing(self, values: np.ndarray) -> List[str]:
-        out = []
-        for v in values:
-            if v is None or (isinstance(v, float) and np.isnan(v)):
-                if self.handle_missing == "error":
-                    raise ValueError(
-                        "missing value encountered during one-hot encoding; "
-                        "impute first or use handle_missing='category'"
-                    )
-                out.append(MISSING_CATEGORY)
-            else:
-                out.append(str(v))
-        return out
-
 
 class LabelEncoder(BaseEstimator):
     """Map class labels to integers 0..k-1 (sorted lexicographically)."""
 
     def fit(self, y) -> "LabelEncoder":
-        values = [str(v) for v in np.asarray(y, dtype=object)]
-        self.classes_ = sorted(set(values))
+        values = _as_label_strings(y)
+        self._classes = np.unique(values)
+        self.classes_ = self._classes.tolist()
         self._index = {c: i for i, c in enumerate(self.classes_)}
         return self
 
     def transform(self, y) -> np.ndarray:
         self._check_fitted("classes_")
-        values = [str(v) for v in np.asarray(y, dtype=object)]
-        unknown = sorted({v for v in values if v not in self._index})
-        if unknown:
+        values = _as_label_strings(y)
+        positions = np.searchsorted(self._classes, values)
+        clipped = np.minimum(positions, len(self._classes) - 1)
+        known = self._classes[clipped] == values
+        if not known.all():
+            unknown = sorted(set(values[~known].tolist()))
             raise ValueError(f"unseen labels at transform time: {unknown}")
-        return np.asarray([self._index[v] for v in values], dtype=np.int64)
+        return positions.astype(np.int64)
 
     def fit_transform(self, y) -> np.ndarray:
         return self.fit(y).transform(y)
@@ -229,9 +241,17 @@ class LabelEncoder(BaseEstimator):
         codes = np.asarray(codes, dtype=np.int64)
         if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
             raise ValueError("codes outside the fitted label range")
-        out = np.empty(len(codes), dtype=object)
-        out[:] = [self.classes_[c] for c in codes]
-        return out
+        return self._classes.astype(object)[codes]
+
+
+def _as_label_strings(y) -> np.ndarray:
+    """Normalize labels to a string array (one C-level str() pass)."""
+    if isinstance(y, Column):
+        y = y.values
+    arr = np.asarray(y)
+    if arr.dtype.kind in "US":
+        return arr
+    return np.asarray(arr, dtype=object).astype(str)
 
 
 def _as_object_columns(X) -> List[np.ndarray]:
@@ -244,3 +264,33 @@ def _as_object_columns(X) -> List[np.ndarray]:
     if X.ndim != 2:
         raise ValueError(f"expected 2-D categorical input, got shape {X.shape}")
     return [X[:, j] for j in range(X.shape[1])]
+
+
+def _as_categorical_columns(X) -> List[Column]:
+    """Normalize encoder input to a list of dictionary-encoded columns.
+
+    :class:`~repro.frame.Column` inputs (the featurizer's fast path) pass
+    through untouched — their codes are used directly. Raw object arrays /
+    2-D matrices are dictionary-encoded on the way in, so every encoder
+    operates on codes regardless of how it was called.
+    """
+    if isinstance(X, Column):
+        return [_ensure_categorical(X)]
+    if isinstance(X, (list, tuple)) and X and all(isinstance(c, Column) for c in X):
+        return [_ensure_categorical(c) for c in X]
+    return [
+        Column.categorical(f"x{j}", values)
+        for j, values in enumerate(_as_object_columns(X))
+    ]
+
+
+def _ensure_categorical(column: Column) -> Column:
+    """Dictionary-encode a numeric column on the way into an encoder.
+
+    Mirrors the object-array era, where a numeric column handed to a
+    categorical encoder was stringified per value ('0.0', '1.0', ...) and
+    NaN became the missing bucket.
+    """
+    if column.is_categorical:
+        return column
+    return Column.categorical(column.name, column.values)

@@ -1,0 +1,251 @@
+"""Round-trip and invariant tests for dictionary-encoded categorical columns.
+
+The coded storage (int32 codes + sorted category table, -1 = missing) must
+be observationally identical to the object-array representation it
+replaced: any pipeline of take/mask/concat/fill/CSV operations has to
+decode back to exactly the values the object arrays would have held.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.frame import (
+    CATEGORICAL,
+    Column,
+    DataFrame,
+    concat_columns,
+    concat_rows,
+    read_csv,
+    write_csv,
+)
+
+categorical_values = st.lists(
+    st.one_of(st.sampled_from(["a", "b", "c", "<missing>", "x,y"]), st.none()),
+    min_size=1,
+    max_size=50,
+)
+numeric_values = st.lists(
+    st.one_of(st.floats(-1e6, 1e6), st.none()), min_size=1, max_size=50
+)
+
+
+def decoded(column):
+    return list(column.values)
+
+
+class TestStorageInvariants:
+    def test_codes_dtype_and_missing_sentinel(self):
+        col = Column.categorical("x", ["b", None, "a", "b"])
+        assert col.codes.dtype == np.int32
+        assert list(col.codes) == [1, -1, 0, 1]
+
+    def test_category_table_sorted_unique(self):
+        col = Column.categorical("x", ["z", "m", "z", "a"])
+        assert list(col.categories) == ["a", "m", "z"]
+
+    def test_values_view_is_cached_and_decodes_missing_to_none(self):
+        col = Column.categorical("x", ["a", None])
+        assert col.values is col.values  # lazy decode happens once
+        assert col.values[1] is None
+
+    def test_decoded_returns_fresh_copy(self):
+        col = Column.categorical("x", ["a", "b"])
+        owned = col.decoded()
+        owned[0] = "mutated"
+        assert col.values[0] == "a"
+
+    def test_numeric_columns_reject_code_accessors(self):
+        col = Column.numeric("x", [1.0])
+        with pytest.raises(TypeError):
+            col.codes
+        with pytest.raises(TypeError):
+            col.categories
+
+
+class TestFromCodes:
+    def test_round_trips_codes(self):
+        col = Column.from_codes("x", [0, -1, 1], ["low", "high"])
+        # table gets canonicalized to sorted order with codes remapped
+        assert decoded(col) == ["low", None, "high"]
+
+    def test_unsorted_categories_are_canonicalized(self):
+        col = Column.from_codes("x", [0, 1], ["z", "a"])
+        assert list(col.categories) == ["a", "z"]
+        assert decoded(col) == ["z", "a"]
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(ValueError, match="codes outside"):
+            Column.from_codes("x", [2], ["only"])
+        with pytest.raises(ValueError, match="codes outside"):
+            Column.from_codes("x", [-2], ["only"])
+
+
+class TestPropertyRoundTrips:
+    @given(values=categorical_values)
+    @settings(max_examples=60)
+    def test_construct_decode_identity(self, values):
+        assert decoded(Column.categorical("x", values)) == values
+
+    @given(values=categorical_values, data=st.data())
+    @settings(max_examples=60)
+    def test_take_matches_object_semantics(self, values, data):
+        indices = data.draw(
+            st.lists(
+                st.integers(0, len(values) - 1), min_size=0, max_size=len(values)
+            )
+        )
+        col = Column.categorical("x", values).take(np.asarray(indices, dtype=int))
+        assert decoded(col) == [values[i] for i in indices]
+
+    @given(values=categorical_values, data=st.data())
+    @settings(max_examples=60)
+    def test_mask_matches_object_semantics(self, values, data):
+        mask = data.draw(
+            st.lists(st.booleans(), min_size=len(values), max_size=len(values))
+        )
+        col = Column.categorical("x", values).mask(np.asarray(mask))
+        assert decoded(col) == [v for v, keep in zip(values, mask) if keep]
+
+    @given(left=categorical_values, right=categorical_values)
+    @settings(max_examples=60)
+    def test_concat_matches_object_semantics(self, left, right):
+        merged = concat_columns(
+            [Column.categorical("x", left), Column.categorical("x", right)]
+        )
+        assert decoded(merged) == left + right
+
+    @given(values=categorical_values)
+    @settings(max_examples=60)
+    def test_fill_missing_then_decode(self, values):
+        col = Column.categorical("x", values).fill_missing("zz-fill")
+        assert decoded(col) == [v if v is not None else "zz-fill" for v in values]
+
+    @given(values=categorical_values, numbers=numeric_values)
+    @settings(max_examples=40)
+    def test_csv_round_trip_preserves_frame(self, tmp_path_factory, values, numbers):
+        frame = DataFrame(
+            [
+                Column.categorical("cat", values),
+                Column.numeric("num", (numbers * len(values))[: len(values)]),
+            ]
+        )
+        path = os.path.join(str(tmp_path_factory.mktemp("csv")), "frame.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert back.equals(frame)
+
+    @given(values=categorical_values)
+    @settings(max_examples=40)
+    def test_pipeline_take_mask_concat_csv_decode(self, tmp_path_factory, values):
+        """The issue's full chain: construct → take/mask/concat → CSV → decode."""
+        col = Column.categorical("cat", values)
+        ids = Column.numeric("id", list(range(len(values))))
+        order = np.arange(len(col))[::-1]
+        frame = DataFrame([col, ids]).take(order)
+        frame = frame.mask(np.ones(len(col), dtype=bool))
+        doubled = concat_rows([frame, frame])
+        path = os.path.join(str(tmp_path_factory.mktemp("csv")), "pipeline.csv")
+        write_csv(doubled, path)
+        back = read_csv(path, kinds=doubled.kinds())
+        expected = list(reversed(values)) * 2
+        assert list(back.col("cat").values) == expected
+        assert back.equals(doubled)
+
+
+class TestQuotedCsvFallback:
+    def test_values_with_commas_and_quotes_round_trip(self, tmp_path):
+        frame = DataFrame(
+            [
+                Column.categorical("tricky", ['a,"b"', "plain", None, "line\nbreak"]),
+                Column.numeric("n", [1.5, np.nan, -3.0, 2.0]),
+            ]
+        )
+        path = str(tmp_path / "quoted.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert back.equals(frame)
+
+    def test_single_column_missing_rows_round_trip(self, tmp_path):
+        frame = DataFrame([Column.categorical("y", ["a", None, "b"])])
+        path = str(tmp_path / "single.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert back.num_rows == 3
+        assert back.equals(frame)
+
+    def test_single_column_nan_rows_round_trip(self, tmp_path):
+        frame = DataFrame([Column.numeric("x", [1.0, None, 2.0])])
+        path = str(tmp_path / "single_nan.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert back.num_rows == 3
+        assert back.equals(frame)
+
+    def test_negative_zero_keeps_sign_through_csv(self, tmp_path):
+        frame = DataFrame([Column.numeric("x", [-0.0, 5.0]), Column.numeric("y", [1.0, 2.0])])
+        path = str(tmp_path / "negzero.csv")
+        write_csv(frame, path)
+        back = read_csv(path, kinds=frame.kinds())
+        assert bool(np.signbit(back.col("x").values[0]))
+
+    def test_quoted_fallback_keeps_lf_line_endings(self, tmp_path):
+        frame = DataFrame(
+            [
+                Column.categorical("tricky", ["a,b", "c"]),
+                Column.categorical("plain", ["p", "q"]),
+            ]
+        )
+        path = str(tmp_path / "quoted_lf.csv")
+        write_csv(frame, path)
+        with open(path, newline="") as handle:
+            assert "\r" not in handle.read()
+
+    def test_compensating_ragged_rows_are_rejected(self, tmp_path):
+        path = str(tmp_path / "ragged.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,2,3\n4\n")  # field counts cancel out in total
+        with pytest.raises(ValueError, match="row 2 has 3 fields"):
+            read_csv(path)
+
+    def test_malformed_row_reports_position(self, tmp_path):
+        path = str(tmp_path / "bad.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,2\n3\n")
+        with pytest.raises(ValueError, match="row 3"):
+            read_csv(path)
+
+
+class TestVectorizedComparisons:
+    def test_eq_on_categorical(self):
+        col = Column.categorical("x", ["a", "b", None, "a"])
+        assert list(col.eq("a")) == [True, False, False, True]
+        assert list(col.eq("zzz")) == [False, False, False, False]
+
+    def test_isin_on_categorical(self):
+        col = Column.categorical("x", ["a", "b", "c", None])
+        assert list(col.isin(["a", "c", "nope"])) == [True, False, True, False]
+
+    def test_eq_on_numeric(self):
+        col = Column.numeric("x", [1.0, 2.0, None])
+        assert list(col.eq(2)) == [False, True, False]
+
+    def test_eq_numeric_unparseable_is_all_false(self):
+        col = Column.numeric("x", [1.0, 2.0])
+        assert list(col.eq("not-a-number")) == [False, False]
+
+
+class TestSetWhere:
+    def test_replacement_adds_new_categories(self):
+        col = Column.categorical("x", ["a", "b", "a"])
+        out = col.set_where(np.asarray([True, False, True]), ["z1", "z2"])
+        assert decoded(out) == ["z1", "b", "z2"]
+        assert list(out.categories) == ["a", "b", "z1", "z2"]
+
+    def test_replacement_with_missing(self):
+        col = Column.categorical("x", ["a", "b"])
+        out = col.set_where(np.asarray([True, False]), [None])
+        assert decoded(out) == [None, "b"]

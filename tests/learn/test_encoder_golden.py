@@ -1,0 +1,207 @@
+"""Golden tests: coded-path encoders vs the object-array reference.
+
+The dictionary-encoding refactor rewired OneHotEncoder / TargetEncoder /
+FrequencyEncoder / LabelEncoder onto int32 codes. These tests pin the
+pre-refactor per-value implementations as executable references and assert
+the vectorized outputs are *bit-identical* (``np.array_equal``, no
+tolerance) on data with missing values, unseen transform-time categories,
+and non-string inputs.
+"""
+
+import numpy as np
+
+from repro.frame import Column
+from repro.learn import FrequencyEncoder, LabelEncoder, OneHotEncoder, TargetEncoder
+
+MISSING = "<missing>"
+
+
+def _reference_key(value):
+    if value is None or (isinstance(value, float) and np.isnan(value)):
+        return MISSING
+    return str(value)
+
+
+def reference_onehot(fit_columns, transform_columns):
+    """The seed implementation: per-feature dict index + per-row loop."""
+    categories_ = []
+    for values in fit_columns:
+        resolved = [_reference_key(v) for v in values]
+        categories_.append(sorted(set(resolved)))
+    blocks = []
+    for values, categories in zip(transform_columns, categories_):
+        resolved = [_reference_key(v) for v in values]
+        index = {c: i for i, c in enumerate(categories)}
+        width = len(categories) + 1
+        block = np.zeros((len(resolved), width), dtype=np.float64)
+        for row, value in enumerate(resolved):
+            block[row, index.get(value, width - 1)] = 1.0
+        blocks.append(block)
+    return categories_, np.hstack(blocks)
+
+
+def reference_target(fit_columns, y, transform_columns, smoothing):
+    """The seed implementation: per-value dict accumulation."""
+    y = np.asarray(y, dtype=np.float64)
+    global_rate = float(y.mean())
+    tables = []
+    for values in fit_columns:
+        sums, counts = {}, {}
+        for value, label in zip(values, y):
+            key = _reference_key(value)
+            sums[key] = sums.get(key, 0.0) + label
+            counts[key] = counts.get(key, 0) + 1
+        tables.append(
+            {
+                key: (sums[key] + smoothing * global_rate)
+                / (counts[key] + smoothing)
+                for key in sums
+            }
+        )
+    blocks = []
+    for values, table in zip(transform_columns, tables):
+        blocks.append(
+            np.asarray(
+                [table.get(_reference_key(v), global_rate) for v in values],
+                dtype=np.float64,
+            ).reshape(-1, 1)
+        )
+    return np.hstack(blocks)
+
+
+def reference_frequency(fit_columns, transform_columns):
+    tables = []
+    for values in fit_columns:
+        keys = [_reference_key(v) for v in values]
+        counts = {}
+        for key in keys:
+            counts[key] = counts.get(key, 0) + 1
+        tables.append({k: c / len(keys) for k, c in counts.items()})
+    blocks = []
+    for values, table in zip(transform_columns, tables):
+        blocks.append(
+            np.asarray(
+                [table.get(_reference_key(v), 0.0) for v in values],
+                dtype=np.float64,
+            ).reshape(-1, 1)
+        )
+    return np.hstack(blocks)
+
+
+def _sample_columns(rng, n, missing_rate=0.1):
+    pools = [
+        ["alpha", "beta", "gamma", "delta"],
+        ["x", MISSING],  # literal "<missing>" string colliding with the bucket
+        [str(v) for v in range(11)],  # high-ish cardinality, numeric strings
+    ]
+    columns = []
+    for pool in pools:
+        values = [pool[rng.integers(len(pool))] for _ in range(n)]
+        for i in range(n):
+            if rng.random() < missing_rate:
+                values[i] = None
+        arr = np.empty(n, dtype=object)
+        arr[:] = values
+        columns.append(arr)
+    return columns
+
+
+def _with_unseen(rng, columns):
+    out = []
+    for values in columns:
+        values = values.copy()
+        for i in range(len(values)):
+            if rng.random() < 0.07:
+                values[i] = "never-seen-at-fit"
+        out.append(values)
+    return out
+
+
+class TestOneHotGolden:
+    def test_bit_identical_to_reference(self):
+        rng = np.random.default_rng(7)
+        fit_cols = _sample_columns(rng, 400)
+        transform_cols = _with_unseen(rng, _sample_columns(rng, 150))
+        ref_categories, ref_out = reference_onehot(fit_cols, transform_cols)
+        encoder = OneHotEncoder().fit(fit_cols)
+        assert encoder.categories_ == ref_categories
+        out = encoder.transform(transform_cols)
+        assert np.array_equal(out, ref_out)
+
+    def test_bit_identical_when_fed_coded_columns(self):
+        rng = np.random.default_rng(11)
+        fit_cols = _sample_columns(rng, 300)
+        transform_cols = _with_unseen(rng, _sample_columns(rng, 120))
+        _, ref_out = reference_onehot(fit_cols, transform_cols)
+        encoder = OneHotEncoder().fit(
+            [Column.categorical(f"c{i}", c) for i, c in enumerate(fit_cols)]
+        )
+        out = encoder.transform(
+            [Column.categorical(f"c{i}", c) for i, c in enumerate(transform_cols)]
+        )
+        assert np.array_equal(out, ref_out)
+
+    def test_numeric_column_input_stringifies_like_object_arrays(self):
+        # a kind-inferred numeric column reaching a categorical encoder must
+        # encode like the old float-array-through-str path, not crash
+        numeric = Column.numeric("flag", [0.0, 1.0, None, 0.0])
+        as_objects = [np.asarray([0.0, 1.0, None, 0.0], dtype=object)]
+        ref_categories, ref_out = reference_onehot(as_objects, as_objects)
+        encoder = OneHotEncoder().fit([numeric])
+        assert encoder.categories_ == ref_categories
+        assert np.array_equal(encoder.transform([numeric]), ref_out)
+
+    def test_mixed_type_inputs_stringify_identically(self):
+        fit = [np.asarray([1, 2.5, "2.5", None, True], dtype=object)]
+        transform = [np.asarray([2.5, "1", None, False], dtype=object)]
+        ref_categories, ref_out = reference_onehot(fit, transform)
+        encoder = OneHotEncoder().fit(fit)
+        assert encoder.categories_ == ref_categories
+        assert np.array_equal(encoder.transform(transform), ref_out)
+
+
+class TestTargetGolden:
+    def test_bit_identical_to_reference(self):
+        rng = np.random.default_rng(13)
+        fit_cols = _sample_columns(rng, 500)
+        transform_cols = _with_unseen(rng, _sample_columns(rng, 200))
+        y = (rng.random(500) < 0.3).astype(np.float64)
+        for smoothing in (0.0, 10.0):
+            ref_out = reference_target(fit_cols, y, transform_cols, smoothing)
+            encoder = TargetEncoder(smoothing=smoothing).fit(fit_cols, y=y)
+            out = encoder.transform(transform_cols)
+            assert np.array_equal(out, ref_out)
+
+
+class TestFrequencyGolden:
+    def test_bit_identical_to_reference(self):
+        rng = np.random.default_rng(17)
+        fit_cols = _sample_columns(rng, 500)
+        transform_cols = _with_unseen(rng, _sample_columns(rng, 200))
+        ref_out = reference_frequency(fit_cols, transform_cols)
+        encoder = FrequencyEncoder().fit(fit_cols)
+        assert np.array_equal(encoder.transform(transform_cols), ref_out)
+
+    def test_literal_missing_string_merges_with_missing_bucket(self):
+        fit = [np.asarray([MISSING, None, "a", None], dtype=object)]
+        encoder = FrequencyEncoder().fit(fit)
+        out = encoder.transform([np.asarray([None, MISSING, "a"], dtype=object)])
+        # the literal string and real missing share one bucket of count 3
+        assert out[0, 0] == 0.75
+        assert out[1, 0] == 0.75
+        assert out[2, 0] == 0.25
+
+
+class TestLabelGolden:
+    def test_bit_identical_to_reference(self):
+        y_fit = ["good", "bad", "good", "bad", "good"]
+        y_new = ["bad", "good", "bad"]
+        # reference: sorted classes, dict-mapped codes
+        classes = sorted(set(str(v) for v in y_fit))
+        index = {c: i for i, c in enumerate(classes)}
+        ref = np.asarray([index[str(v)] for v in y_new], dtype=np.int64)
+        encoder = LabelEncoder().fit(y_fit)
+        assert encoder.classes_ == classes
+        out = encoder.transform(y_new)
+        assert out.dtype == np.int64
+        assert np.array_equal(out, ref)
