@@ -1,0 +1,282 @@
+"""Micro/macro benchmarks for the model-selection hot path.
+
+Covers the redundant-work sites the presorted-induction refactor removes:
+the Figure-2 decision-tree tuning grid (candidates x 5 folds on
+germancredit-scale data), single deep tree fits, one-vs-rest linear
+training, and the confusion-matrix evaluation path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_learn.py                    # print table
+    PYTHONPATH=src python benchmarks/bench_learn.py --record baseline  # per-node argsort numbers
+    PYTHONPATH=src python benchmarks/bench_learn.py --record current   # presorted-backend numbers
+    PYTHONPATH=src python benchmarks/bench_learn.py --smoke            # tiny CI sanity run
+
+``--record`` merges the timings into ``benchmarks/BENCH_learn.json``
+under the given phase key and, when both phases are present, recomputes the
+per-benchmark speedup table. ``--smoke`` runs the workloads once at a small
+scale, verifies the identity invariants of the fast paths (presort hint,
+``n_jobs`` fan-out, vectorized one-vs-rest, coded confusion matrix), and
+asserts the committed speedup trajectory still meets its floors, so CI
+catches both a broken fast path and a silently regressed recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.featurization import Featurizer
+from repro.core.learners import DECISION_TREE_GRID
+from repro.core.missing_values import ModeImputer
+from repro.datasets import load_dataset
+from repro.learn import (
+    DecisionTreeClassifier,
+    GridSearchCV,
+    LogisticRegressionGD,
+    SGDClassifier,
+    confusion_matrix,
+)
+
+# committed next to the benchmark (benchmarks/results/ is gitignored) so
+# the perf trajectory is recorded in-repo
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_learn.json")
+
+# floors enforced by --smoke against the committed trajectory: re-recording
+# a regressed implementation fails CI even though CI never times full scale
+SPEEDUP_FLOORS = {"dt_grid_fit": 3.0, "confusion_matrix": 2.0}
+
+GERMANCREDIT_ROWS = 1000  # the Figure-2 tuning-grid scale
+SMOKE_ROWS = 300
+
+
+def _featurized(name: str, n_rows: int, seed: int = 0):
+    """Dataset -> imputed -> featurized (X, y), the matrices grid search sees."""
+    frame, spec = load_dataset(name, n=n_rows, seed=seed)
+    columns = list(spec.numeric_features) + list(spec.categorical_features)
+    frame = ModeImputer().fit(frame, columns, seed).handle_missing(frame)
+    data = Featurizer(spec).fit(frame).transform(frame)
+    return data.features, data.labels
+
+
+def _multiclass(n: int, d: int, n_classes: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    centers = rng.normal(size=(n_classes, d))
+    y = np.argmax(X @ centers.T, axis=1)
+    return X, y
+
+
+def _time(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn`` in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def run_benchmarks(n_rows: int, repeats: int) -> dict:
+    timings = {}
+
+    X, y = _featurized("germancredit", n_rows)
+
+    # the Figure-2 hot path: exhaustive tuning of the decision tree,
+    # 2 criteria x 3 depths x 4 min-leaf x 3 min-split = 72 candidates,
+    # each cross-validated over 5 folds (the paper's "exhaustive search")
+    def _grid_fit():
+        GridSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            DECISION_TREE_GRID,
+            cv=5,
+            random_state=0,
+        ).fit(X, y)
+
+    timings["dt_grid_fit"] = _time(_grid_fit, max(1, repeats - 1))
+
+    timings["dt_fit_entropy"] = _time(
+        lambda: DecisionTreeClassifier(
+            criterion="entropy", max_depth=None, random_state=0
+        ).fit(X, y),
+        repeats,
+    )
+    timings["dt_fit_gini"] = _time(
+        lambda: DecisionTreeClassifier(
+            criterion="gini", max_depth=None, random_state=0
+        ).fit(X, y),
+        repeats,
+    )
+
+    Xm, ym = _multiclass(4 * n_rows, 40, 6)
+    timings["ovr_sgd_fit"] = _time(
+        lambda: SGDClassifier(
+            loss="log", max_iter=5, batch_size=64, random_state=0
+        ).fit(Xm, ym),
+        repeats,
+    )
+    # imputer-style shape: many classes, cache-sized target stack
+    Xg, yg = _multiclass(n_rows, 20, 12)
+    timings["ovr_gd_fit"] = _time(
+        lambda: LogisticRegressionGD(max_iter=60, random_state=0).fit(Xg, yg),
+        repeats,
+    )
+
+    # the evaluation path sees numeric (favorable/unfavorable-style) labels
+    rng = np.random.default_rng(0)
+    n_eval = 200 * n_rows
+    labels = [float(i) for i in range(8)]
+    y_true = np.asarray(labels)[rng.integers(0, 8, n_eval)]
+    y_pred = np.asarray(labels)[rng.integers(0, 8, n_eval)]
+    weights = rng.random(n_eval)
+    timings["confusion_matrix"] = _time(
+        lambda: confusion_matrix(y_true, y_pred, labels=labels, sample_weight=weights),
+        repeats,
+    )
+
+    return timings
+
+
+def check_invariants(n_rows: int) -> None:
+    """Identity spot-checks on the fast paths (CI smoke gate)."""
+    from repro.learn import KFold, Presort, accuracy_score, cross_val_score
+
+    X, y = _featurized("germancredit", n_rows)
+
+    # 1. an externally supplied presort hint must not change the tree
+    plain = DecisionTreeClassifier(criterion="entropy", max_depth=8).fit(X, y)
+    hinted = DecisionTreeClassifier(criterion="entropy", max_depth=8).fit(
+        X, y, presort=Presort(X)
+    )
+    assert _tree_signature(plain) == _tree_signature(hinted), (
+        "presort hint changed the induced tree"
+    )
+
+    # 2. n_jobs fan-out must reproduce the serial search exactly
+    grid = {"criterion": ["gini", "entropy"], "max_depth": [3, 8]}
+    serial = GridSearchCV(
+        DecisionTreeClassifier(random_state=0), grid, cv=3, random_state=0
+    ).fit(X, y)
+    fanned = GridSearchCV(
+        DecisionTreeClassifier(random_state=0), grid, cv=3, random_state=0, n_jobs=2
+    ).fit(X, y)
+    assert serial.cv_results_ == fanned.cv_results_, "n_jobs changed grid scores"
+
+    # 3. vectorized one-vs-rest == the per-class loop, byte for byte
+    Xm, ym = _multiclass(400, 12, 4)
+    model = SGDClassifier(loss="log", max_iter=5, batch_size=32, random_state=3)
+    model.fit(Xm, ym)
+    for index, klass in enumerate(model.classes_):
+        signs = np.where(ym == klass, 1.0, -1.0)
+        w, b = model._fit_binary(Xm, signs, np.ones(len(ym)))
+        assert np.array_equal(model.coef_[index], w), "OvR coefficients drifted"
+        assert model.intercept_[index] == b, "OvR intercepts drifted"
+
+    # 4. coded confusion matrix == the dict-lookup accumulation
+    rng = np.random.default_rng(1)
+    labels = ["a", "b", "c"]
+    y_true = np.asarray(labels, dtype=object)[rng.integers(0, 3, 500)]
+    y_pred = np.asarray(labels, dtype=object)[rng.integers(0, 3, 500)]
+    weights = rng.random(500)
+    fast = confusion_matrix(y_true, y_pred, labels=labels, sample_weight=weights)
+    slow = np.zeros((3, 3))
+    index = {label: i for i, label in enumerate(labels)}
+    for t, p, weight in zip(y_true, y_pred, weights):
+        slow[index[t], index[p]] += weight
+    assert np.array_equal(fast, slow), "confusion_matrix fast path drifted"
+
+    # 5. cross_val_score scoring hook is honoured
+    def inverted(model, X_val, y_val):
+        return -accuracy_score(y_val, model.predict(X_val))
+
+    scores = cross_val_score(
+        DecisionTreeClassifier(max_depth=3), X, y, cv=3, random_state=0,
+        scoring=inverted,
+    )
+    assert (scores <= 0).all(), "custom scoring ignored by cross_val_score"
+
+    # 6. the committed trajectory still meets its floors
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            recorded = json.load(handle)
+        for name, floor in SPEEDUP_FLOORS.items():
+            ratio = recorded.get("speedup", {}).get(name)
+            assert ratio is not None and ratio >= floor, (
+                f"committed speedup for {name} is {ratio}, below the {floor}x floor"
+            )
+
+
+def _tree_signature(model):
+    nodes = []
+    stack = [model.tree_]
+    while stack:
+        node = stack.pop()
+        nodes.append(
+            (node.feature, node.threshold, node.n_samples, tuple(node.distribution))
+        )
+        if not node.is_leaf:
+            stack.extend((node.left, node.right))
+    return nodes
+
+
+def render(timings: dict, n_rows: int) -> str:
+    lines = [f"bench_learn (germancredit n={n_rows})", "-" * 44]
+    for name, seconds in timings.items():
+        lines.append(f"{name:24s} {seconds * 1e3:10.2f} ms")
+    return "\n".join(lines)
+
+
+def record(phase: str, timings: dict, n_rows: int, repeats: int) -> dict:
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as handle:
+            data = json.load(handle)
+    data.setdefault("meta", {})[phase] = {"n_rows": n_rows, "repeats": repeats}
+    data[phase] = timings
+    if "baseline" in data and "current" in data:
+        data["speedup"] = {
+            name: round(data["baseline"][name] / data["current"][name], 2)
+            for name in data["current"]
+            if name in data["baseline"] and data["current"][name] > 0
+        }
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return data
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--record", choices=["baseline", "current"])
+    parser.add_argument("--smoke", action="store_true", help="tiny run + identity checks")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args(argv)
+
+    n_rows = args.rows or (SMOKE_ROWS if args.smoke else GERMANCREDIT_ROWS)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    if args.smoke:
+        check_invariants(n_rows)
+    timings = run_benchmarks(n_rows, repeats)
+    print(render(timings, n_rows))
+    if args.record:
+        data = record(args.record, timings, n_rows, repeats)
+        if "speedup" in data:
+            print("\nspeedup vs baseline:")
+            for name, ratio in sorted(data["speedup"].items()):
+                print(f"  {name:24s} {ratio:6.2f}x")
+    if args.smoke:
+        print("\nsmoke checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -4,10 +4,11 @@ The plan layer (:mod:`repro.core.plan`) describes what to run; the
 executors here decide scheduling and reuse:
 
 * :class:`SerialExecutor` — in-process, one run at a time;
-* :class:`ParallelExecutor` — fans preparation groups out over a
-  ``concurrent.futures`` process pool (fork start method, so grid
-  factories need not be picklable), falling back to serial execution
-  where fork is unavailable.
+* :class:`ParallelExecutor` — fans preparation groups out over the
+  fork-based group runner in :mod:`repro.parallel` (shared with
+  ``GridSearchCV(n_jobs=...)``; fork means grid factories need not be
+  picklable), falling back to serial execution where fork is
+  unavailable.
 
 Both share two caches keyed by the plan's fingerprints:
 
@@ -32,13 +33,12 @@ any configuration whose ``run_key`` is already stored.
 from __future__ import annotations
 
 import abc
-import multiprocessing
 import os
 import warnings
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
+from .. import parallel
 from ..datasets import DatasetSpec
 from ..frame import DataFrame
 from .components import component_fingerprint
@@ -252,19 +252,14 @@ class SerialExecutor(Executor):
 # ----------------------------------------------------------------------
 # process-pool backend
 #
-# Grid factories are often lambdas/closures, which do not pickle. The pool
-# therefore uses the fork start method: the plan is published in a module
-# global before workers are spawned, each forked worker inherits it, and
-# only config indices cross the process boundary.
+# Grid factories are often lambdas/closures, which do not pickle. The
+# fan-out therefore runs on :mod:`repro.parallel` — the fork-based group
+# runner shared with GridSearchCV's ``n_jobs`` — which publishes the plan
+# for forked workers to inherit, so only config indices and results cross
+# the process boundary.
 # ----------------------------------------------------------------------
-_WORKER_PLAN: Optional[ExecutionPlan] = None
-
-
-def _run_group_by_index(indices: List[int], share_preparation: bool) -> List[RunResult]:
-    plan = _WORKER_PLAN
-    if plan is None:  # pragma: no cover - defensive
-        raise RuntimeError("worker has no execution plan; pool misconfigured")
-    group = [plan.configs[i] for i in indices]
+def _run_plan_group(payload, group: Sequence[RunConfig]) -> List[RunResult]:
+    plan, share_preparation = payload
     return run_config_group(plan, group, share_preparation)
 
 
@@ -293,7 +288,7 @@ class ParallelExecutor(Executor):
         if workers <= 1:
             _run_groups_in_process(plan, groups, self.share_preparation, emit_group)
             return
-        if "fork" not in multiprocessing.get_all_start_methods():
+        if not parallel.fork_available():
             warnings.warn(
                 "ParallelExecutor needs the 'fork' start method to ship "
                 "component factories to workers; running serially instead",
@@ -303,64 +298,11 @@ class ParallelExecutor(Executor):
             _run_groups_in_process(plan, groups, self.share_preparation, emit_group)
             return
 
-        groups = _split_for_balance(groups, workers)
-        global _WORKER_PLAN
-        _WORKER_PLAN = plan
-        try:
-            context = multiprocessing.get_context("fork")
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(groups)), mp_context=context
-            ) as pool:
-                futures = {
-                    pool.submit(
-                        _run_group_by_index,
-                        [config.index for config in group],
-                        self.share_preparation,
-                    ): group
-                    for group in groups
-                }
-                emitted = set()
-                try:
-                    remaining = set(futures)
-                    while remaining:
-                        finished, remaining = wait(
-                            remaining, return_when=FIRST_COMPLETED
-                        )
-                        for future in finished:
-                            results = future.result()
-                            emitted.add(future)
-                            emit_group(futures[future], results)
-                except BaseException:
-                    # a failed run must not discard groups other workers
-                    # completed: stop unstarted work, let in-flight groups
-                    # finish (pool shutdown waits for them regardless) and
-                    # persist every success before propagating
-                    for future in futures:
-                        future.cancel()
-                    wait(set(futures))
-                    for future in futures:
-                        if (
-                            future not in emitted
-                            and future.done()
-                            and not future.cancelled()
-                            and future.exception() is None
-                        ):
-                            emit_group(futures[future], future.result())
-                    raise
-        finally:
-            _WORKER_PLAN = None
-
-
-def _split_for_balance(
-    groups: List[List[RunConfig]], workers: int
-) -> List[List[RunConfig]]:
-    """Split the largest groups until every worker can stay busy."""
-    groups = [list(group) for group in groups]
-    while len(groups) < workers:
-        largest = max(groups, key=len)
-        if len(largest) < 2:
-            break
-        groups.remove(largest)
-        middle = len(largest) // 2
-        groups.extend([largest[:middle], largest[middle:]])
-    return groups
+        groups = parallel.split_for_balance(groups, workers)
+        parallel.run_groups(
+            (plan, self.share_preparation),
+            _run_plan_group,
+            groups,
+            min(workers, len(groups)),
+            lambda index, group, results: emit_group(group, results),
+        )

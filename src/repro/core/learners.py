@@ -83,12 +83,14 @@ class LogisticRegression(Learner):
         cv: int = 5,
         max_iter: int = 20,
         batch_size: int = 32,
+        n_jobs: Optional[int] = None,
     ):
         self.tuned = tuned
         self.param_grid = dict(param_grid) if param_grid else dict(LOGISTIC_REGRESSION_GRID)
         self.cv = cv
         self.max_iter = max_iter
         self.batch_size = batch_size
+        self.n_jobs = n_jobs
 
     def fit_model(self, train_data: BinaryLabelDataset, seed: int) -> _FittedModel:
         base = SGDClassifier(
@@ -100,7 +102,8 @@ class LogisticRegression(Learner):
         X, y, w = train_data.features, train_data.labels, train_data.instance_weights
         if self.tuned:
             search = GridSearchCV(
-                base, self.param_grid, cv=self.cv, random_state=seed
+                base, self.param_grid, cv=self.cv, random_state=seed,
+                n_jobs=self.n_jobs,
             )
             search.fit(X, y, sample_weight=w)
             model = search.best_estimator_
@@ -121,16 +124,21 @@ class DecisionTree(Learner):
         tuned: bool = True,
         param_grid: Optional[Dict[str, list]] = None,
         cv: int = 5,
+        n_jobs: Optional[int] = None,
     ):
         self.tuned = tuned
         self.param_grid = dict(param_grid) if param_grid else dict(DECISION_TREE_GRID)
         self.cv = cv
+        self.n_jobs = n_jobs
 
     def fit_model(self, train_data: BinaryLabelDataset, seed: int) -> _FittedModel:
         base = DecisionTreeClassifier(random_state=seed)
         X, y, w = train_data.features, train_data.labels, train_data.instance_weights
         if self.tuned:
-            search = GridSearchCV(base, self.param_grid, cv=self.cv, random_state=seed)
+            search = GridSearchCV(
+                base, self.param_grid, cv=self.cv, random_state=seed,
+                n_jobs=self.n_jobs,
+            )
             search.fit(X, y, sample_weight=w)
             model = search.best_estimator_
             self.last_search_ = search
@@ -163,10 +171,17 @@ class KNearestNeighbors(Learner):
     but not with reweighing.
     """
 
-    def __init__(self, tuned: bool = True, neighbor_grid: Optional[list] = None, cv: int = 5):
+    def __init__(
+        self,
+        tuned: bool = True,
+        neighbor_grid: Optional[list] = None,
+        cv: int = 5,
+        n_jobs: Optional[int] = None,
+    ):
         self.tuned = tuned
         self.neighbor_grid = list(neighbor_grid) if neighbor_grid else [3, 5, 11, 21]
         self.cv = cv
+        self.n_jobs = n_jobs
 
     def fit_model(self, train_data: BinaryLabelDataset, seed: int) -> _FittedModel:
         base = KNeighborsClassifier()
@@ -177,6 +192,7 @@ class KNearestNeighbors(Learner):
                 {"n_neighbors": self.neighbor_grid},
                 cv=self.cv,
                 random_state=seed,
+                n_jobs=self.n_jobs,
             )
             search.fit(X, y)
             model = search.best_estimator_

@@ -41,6 +41,7 @@ from .model_selection import (
 from .naive_bayes import GaussianNB
 from .neighbors import KNeighborsClassifier, nearest_neighbor_indices
 from .pipeline import Pipeline, make_pipeline
+from .splitter import Presort
 from .preprocessing import (
     MISSING_CATEGORY,
     UNSEEN_CATEGORY,
@@ -70,6 +71,7 @@ __all__ = [
     "OneHotEncoder",
     "ParameterGrid",
     "Pipeline",
+    "Presort",
     "SGDClassifier",
     "SVDEmbeddingEncoder",
     "SimpleImputer",

@@ -64,6 +64,21 @@ class BaseEstimator:
                 )
 
 
+def supports_fit_param(estimator, name: str) -> bool:
+    """Whether the estimator's ``fit`` accepts a keyword argument.
+
+    This is the fit-context hint protocol: callers that hold shared
+    per-dataset state (e.g. a precomputed presort for a cross-validation
+    fold) offer it to every estimator whose ``fit`` signature declares
+    the hint, and simply skip the ones that don't.
+    """
+    try:
+        signature = inspect.signature(type(estimator).fit)
+    except (AttributeError, TypeError, ValueError):
+        return False
+    return name in signature.parameters
+
+
 def clone(estimator: BaseEstimator) -> BaseEstimator:
     """Unfitted copy with the same hyperparameters (deep for nested estimators).
 

@@ -25,6 +25,16 @@ from .base import (
 _LOSSES = ("log", "hinge")
 _PENALTIES = ("l2", "l1", "elasticnet", "none")
 
+# full-batch one-vs-rest: stack targets into one (targets × samples)
+# problem only while the intermediates stay cache-sized; beyond this the
+# per-target loop is faster (both paths are byte-identical)
+_OVR_STACK_LIMIT = 16384
+
+# minibatch one-vs-rest keeps its per-batch working set small, so its
+# stacked signs matrix is capped only by memory (128 MB of float64),
+# past which the per-class loop bounds allocation at O(n)
+_OVR_SIGNS_LIMIT = 1 << 24
+
 
 def _sigmoid(z: np.ndarray) -> np.ndarray:
     """Numerically stable logistic function."""
@@ -103,8 +113,15 @@ class SGDClassifier(BaseEstimator, ClassifierMixin):
             w, b = self._fit_binary(X, signs, sample_weight)
             self.coef_ = w.reshape(1, -1)
             self.intercept_ = np.asarray([b])
+        elif len(self.classes_) * X.shape[0] <= _OVR_SIGNS_LIMIT:
+            # one-vs-rest for multi-class targets, all classes trained
+            # through a single epoch loop (byte-identical to the
+            # per-class loop; see _fit_ovr)
+            signs = np.where(y[None, :] == self.classes_[:, None], 1.0, -1.0)
+            self.coef_, self.intercept_ = self._fit_ovr(X, signs, sample_weight)
         else:
-            # one-vs-rest for multi-class targets (used by the learned imputer)
+            # stacked signs would not fit comfortably in memory; the
+            # per-class loop produces byte-identical coefficients
             coefs, intercepts = [], []
             for klass in self.classes_:
                 signs = np.where(y == klass, 1.0, -1.0)
@@ -114,6 +131,85 @@ class SGDClassifier(BaseEstimator, ClassifierMixin):
             self.coef_ = np.vstack(coefs)
             self.intercept_ = np.asarray(intercepts)
         return self
+
+    def _fit_ovr(self, X, signs, sample_weight):
+        """Train every one-vs-rest problem through one shared epoch loop.
+
+        The per-class loop seeds an identical RNG stream for every class,
+        so all classes see the same permutation at the same epoch — one
+        shared draw per epoch reproduces it. All elementwise work
+        (activations, penalties, updates, divergence guards) runs on a
+        (classes × ...) weight matrix at once; only the two projections
+        per batch stay per-class matrix-vector products, because BLAS
+        matrix-matrix products round differently and the coefficients are
+        required to be byte-identical to independent binary fits.
+        """
+        n_samples, n_features = X.shape
+        n_classes = signs.shape[0]
+        rng = np.random.default_rng(self.random_state)
+        coef = np.zeros((n_classes, n_features))
+        intercept = np.zeros(n_classes)
+        t = self._optimal_init()
+        previous = np.full(n_classes, np.inf)
+        active = np.arange(n_classes)
+        batch = max(1, int(self.batch_size))
+        for _ in range(int(self.max_iter)):
+            if active.size == 0:
+                break
+            order = rng.permutation(n_samples) if self.shuffle else np.arange(n_samples)
+            w = coef[active]
+            b = intercept[active]
+            active_signs = signs[active]
+            k = active.size
+            for start in range(0, n_samples, batch):
+                idx = order[start : start + batch]
+                xb, sb, wb = X[idx], active_signs[:, idx], sample_weight[idx]
+                eta = self._eta(t)
+                t += len(idx)
+                grad_w, grad_b = self._ovr_gradient(xb, sb, wb, w, b, k)
+                w = self._apply_penalty(w, eta)
+                w -= eta * grad_w
+                b = b - eta * grad_b
+                finite = np.isfinite(w).all(axis=1)
+                if not finite.all():
+                    # diverged (typically unscaled features): freeze the
+                    # affected classes at the last finite state
+                    bad = ~finite
+                    w[bad] = np.nan_to_num(w[bad], nan=0.0, posinf=1e12, neginf=-1e12)
+                    b[bad] = np.nan_to_num(b[bad], nan=0.0, posinf=1e12, neginf=-1e12)
+            epoch_loss = np.empty(k)
+            for row in range(k):
+                epoch_loss[row] = self._mean_loss(
+                    X, active_signs[row], sample_weight, w[row], b[row]
+                )
+            done = np.isfinite(epoch_loss) & (previous[active] - epoch_loss < self.tol)
+            coef[active] = w
+            intercept[active] = b
+            previous[active] = epoch_loss
+            active = active[~done]
+        return coef, intercept
+
+    def _ovr_gradient(self, xb, sb, wb, w, b, k):
+        """Per-class loss gradients; the per-class matvec mirrors
+        :meth:`_loss_gradient` operand for operand."""
+        margins = np.empty((k, len(xb)))
+        for row in range(k):
+            margins[row] = xb @ w[row]
+        margins += b[:, None]
+        if self.loss == "log":
+            coeff = -sb * _sigmoid(-sb * margins) * wb
+        else:  # hinge
+            active = (sb * margins) < 1.0
+            coeff = np.where(active, -sb, 0.0) * wb
+        total = wb.sum()
+        if total == 0:
+            return np.zeros_like(w), np.zeros(k)
+        grad_w = np.empty_like(w)
+        for row in range(k):
+            grad_w[row] = xb.T @ coeff[row]
+        grad_w /= total
+        grad_b = coeff.sum(axis=1) / total
+        return grad_w, grad_b
 
     def _fit_binary(self, X, signs, sample_weight):
         n_samples, n_features = X.shape
@@ -259,14 +355,22 @@ class LogisticRegressionGD(BaseEstimator, ClassifierMixin):
         targets = (
             [self.classes_[1]] if len(self.classes_) == 2 else list(self.classes_)
         )
-        coefs, intercepts = [], []
-        for klass in targets:
-            t = (y == klass).astype(np.float64)
-            w, b = self._fit_one(X, t, sample_weight)
-            coefs.append(w)
-            intercepts.append(b)
-        self.coef_ = np.vstack(coefs)
-        self.intercept_ = np.asarray(intercepts)
+        onehot = np.empty((len(targets), X.shape[0]))
+        for row, klass in enumerate(targets):
+            onehot[row] = (y == klass).astype(np.float64)
+        if onehot.size <= _OVR_STACK_LIMIT:
+            self.coef_, self.intercept_ = self._fit_ovr(X, onehot, sample_weight)
+        else:
+            # the stacked (targets × samples) intermediates would fall
+            # out of cache; per-target vectors are faster there and the
+            # two paths produce byte-identical coefficients
+            coefs, intercepts = [], []
+            for row in range(onehot.shape[0]):
+                w, b = self._fit_one(X, onehot[row], sample_weight)
+                coefs.append(w)
+                intercepts.append(b)
+            self.coef_ = np.vstack(coefs)
+            self.intercept_ = np.asarray(intercepts)
         return self
 
     def _fit_one(self, X, t, sample_weight):
@@ -292,6 +396,54 @@ class LogisticRegressionGD(BaseEstimator, ClassifierMixin):
                 break
             previous = loss
         return w, b
+
+    def _fit_ovr(self, X, targets, sample_weight):
+        """Full-batch gradient descent over all targets at once.
+
+        All elementwise work runs on a (targets × ...) weight matrix;
+        the two projections per iteration stay per-target matrix-vector
+        products so the coefficients are byte-identical to independent
+        per-target fits (BLAS matrix-matrix products round differently).
+        Targets converge independently: a finished target drops out of
+        the active set while the others keep iterating.
+        """
+        n_samples, n_features = X.shape
+        n_targets = targets.shape[0]
+        coef = np.zeros((n_targets, n_features))
+        intercept = np.zeros(n_targets)
+        weights = sample_weight / sample_weight.sum()
+        previous = np.full(n_targets, np.inf)
+        active = np.arange(n_targets)
+        for _ in range(int(self.max_iter)):
+            if active.size == 0:
+                break
+            w = coef[active]
+            b = intercept[active]
+            t = targets[active]
+            k = active.size
+            margins = np.empty((k, n_samples))
+            for row in range(k):
+                margins[row] = X @ w[row]
+            margins += b[:, None]
+            p = _sigmoid(margins)
+            error = (p - t) * weights
+            grad_b = error.sum(axis=1)
+            grad_w = np.empty_like(w)
+            for row in range(k):
+                grad_w[row] = X.T @ error[row]
+            grad_w += self.alpha * w
+            w = w - self.learning_rate * grad_w
+            b = b - self.learning_rate * grad_b
+            loss = -(
+                weights
+                * (t * np.log(p + 1e-12) + (1 - t) * np.log(1 - p + 1e-12))
+            ).sum(axis=1)
+            done = previous[active] - loss < self.tol
+            coef[active] = w
+            intercept[active] = b
+            previous[active] = loss
+            active = active[~done]
+        return coef, intercept
 
     def decision_function(self, X) -> np.ndarray:
         self._check_fitted("coef_", "intercept_")

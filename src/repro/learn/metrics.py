@@ -35,14 +35,61 @@ def accuracy_score(y_true, y_pred, sample_weight=None) -> float:
 def confusion_matrix(
     y_true, y_pred, labels: Optional[Sequence] = None, sample_weight=None
 ) -> np.ndarray:
-    """Weighted confusion matrix; rows = true label, columns = prediction."""
+    """Weighted confusion matrix; rows = true label, columns = prediction.
+
+    Runs on the evaluation path of every grid run, so the accumulation is
+    vectorized: labels are mapped to codes with a searchsorted lookup and
+    the cell sums come from one flat 2-D bincount. Falls back to the
+    row-at-a-time dict accumulation only for label sets numpy cannot sort
+    or that contain duplicates.
+    """
     y_true = np.asarray(y_true)
     y_pred = np.asarray(y_pred)
     if labels is None:
         labels = np.unique(np.concatenate([y_true, y_pred]))
     labels = list(labels)
-    index = {label: i for i, label in enumerate(labels)}
     w = _weights(sample_weight, len(y_true))
+    if not labels:
+        return _confusion_matrix_loop(y_true, y_pred, labels, w)
+    try:
+        label_array = np.asarray(labels)
+        if "O" in (label_array.dtype.kind, y_true.dtype.kind, y_pred.dtype.kind):
+            # object arrays sort/search element-by-element in Python —
+            # the dict accumulation is faster and has the exact semantics
+            raise TypeError
+        sorter = np.argsort(label_array, kind="mergesort")
+        ordered = label_array[sorter]
+        if (ordered[:-1] == ordered[1:]).any():
+            raise TypeError  # duplicate labels: defer to the dict semantics
+        t_codes, t_ok = _label_codes(ordered, sorter, y_true)
+        p_codes, p_ok = _label_codes(ordered, sorter, y_pred)
+    except TypeError:
+        return _confusion_matrix_loop(y_true, y_pred, labels, w)
+    bad = ~(t_ok & p_ok)
+    if bad.any():
+        first = int(np.argmax(bad))
+        raise ValueError(
+            f"label outside provided label set: {y_true[first]!r}/{y_pred[first]!r}"
+        )
+    n_labels = len(labels)
+    # bincount accumulates in input order — the same order (and therefore
+    # the same floating-point sums) as the row-at-a-time loop
+    return np.bincount(
+        t_codes * n_labels + p_codes, weights=w, minlength=n_labels * n_labels
+    ).reshape(n_labels, n_labels)
+
+
+def _label_codes(ordered, sorter, values):
+    """Positions of ``values`` in the original label list, via the sorted
+    view; second return marks values actually present."""
+    positions = np.searchsorted(ordered, values)
+    positions = np.clip(positions, 0, len(ordered) - 1)
+    ok = ordered[positions] == values
+    return sorter[positions], ok
+
+
+def _confusion_matrix_loop(y_true, y_pred, labels, w):
+    index = {label: i for i, label in enumerate(labels)}
     matrix = np.zeros((len(labels), len(labels)), dtype=np.float64)
     for t, p, weight in zip(y_true, y_pred, w):
         if t not in index or p not in index:

@@ -4,6 +4,13 @@ The paper's second baseline. Decision trees are invariant to monotone
 feature rescaling, which is exactly the property Figure 3(b) demonstrates;
 our implementation preserves it because split quality depends only on the
 ordering of feature values.
+
+Split search runs on the presorted backend (:mod:`repro.learn.splitter`):
+the per-feature sort order is computed once per fit — or supplied by the
+caller through the ``fit(..., presort=...)`` hint, which grid search uses
+to share one presort per cross-validation fold across every tuning
+candidate — and maintained through the recursion by stable partition
+instead of re-argsorting at every node.
 """
 
 from __future__ import annotations
@@ -18,7 +25,9 @@ from .base import (
     check_labels,
     check_matrix,
     check_sample_weight,
+    clone,
 )
+from .splitter import Presort, PresortSplitter
 
 _CRITERIA = ("gini", "entropy")
 
@@ -67,7 +76,14 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     # ------------------------------------------------------------------
     # fitting
     # ------------------------------------------------------------------
-    def fit(self, X, y, sample_weight=None) -> "DecisionTreeClassifier":
+    def fit(
+        self, X, y, sample_weight=None, presort: Optional[Presort] = None
+    ) -> "DecisionTreeClassifier":
+        """Fit the tree; ``presort`` is an optional fit-context hint.
+
+        A :class:`~repro.learn.splitter.Presort` built for this exact
+        ``X`` skips the once-per-fit argsort; anything else is ignored.
+        """
         if self.criterion not in _CRITERIA:
             raise ValueError(
                 f"criterion must be one of {_CRITERIA}, got {self.criterion!r}"
@@ -83,161 +99,106 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.n_features_ = X.shape[1]
         onehot = np.zeros((X.shape[0], len(self.classes_)))
         onehot[np.arange(X.shape[0]), y_codes] = sample_weight
-        self.tree_ = self._build(
-            X, onehot, np.arange(X.shape[0]), depth=0
+        splitter = PresortSplitter(
+            X, onehot, self.criterion, self.min_samples_leaf, presort=presort
         )
+        self.tree_ = self._grow(X, onehot, splitter)
         self.depth_ = _tree_depth(self.tree_)
         self.n_leaves_ = _count_leaves(self.tree_)
         return self
 
-    def _build(self, X, onehot, indices, depth) -> _Node:
-        class_weights = onehot[indices].sum(axis=0)
-        node = _Node(distribution=class_weights, n_samples=len(indices))
-        if (
-            len(indices) < self.min_samples_split
-            or (self.max_depth is not None and depth >= self.max_depth)
-            or np.count_nonzero(class_weights) <= 1
-        ):
-            return node
-        split = self._best_split(X, onehot, indices)
-        if split is None:
-            return node
-        feature, threshold, gain = split
-        if gain < self.min_impurity_decrease:
-            return node
-        go_left = X[indices, feature] <= threshold
-        node.feature = feature
-        node.threshold = threshold
-        node.left = self._build(X, onehot, indices[go_left], depth + 1)
-        node.right = self._build(X, onehot, indices[~go_left], depth + 1)
-        return node
+    def _grow(self, X, onehot, splitter: PresortSplitter) -> _Node:
+        """Build the tree with an explicit stack (deep trees can exceed
+        the interpreter recursion limit on larger resamples)."""
+        binary = onehot.shape[1] == 2
+        root: Optional[_Node] = None
+        stack = [(np.arange(X.shape[0]), splitter.root_order(), 0, None, "")]
+        while stack:
+            indices, order, depth, parent, side = stack.pop()
+            class_weights, sub = splitter.node_distribution(indices)
+            node = _Node(distribution=class_weights, n_samples=len(indices))
+            if parent is None:
+                root = node
+            else:
+                setattr(parent, side, node)
+            if (
+                len(indices) < self.min_samples_split
+                or (self.max_depth is not None and depth >= self.max_depth)
+                or np.count_nonzero(class_weights) <= 1
+            ):
+                continue
+            if binary:
+                split = splitter.best_split_binary(indices, order, sub, class_weights)
+            else:
+                split = splitter.best_split_general(indices, order, class_weights)
+            if split is None:
+                continue
+            feature, threshold, gain = split
+            if gain < self.min_impurity_decrease:
+                continue
+            go_left = X[indices, feature] <= threshold
+            left_indices = indices[go_left]
+            right_indices = indices[~go_left]
+            left_order, right_order = splitter.partition(order, left_indices)
+            node.feature = feature
+            node.threshold = threshold
+            stack.append((right_indices, right_order, depth + 1, node, "right"))
+            stack.append((left_indices, left_order, depth + 1, node, "left"))
+        return root
 
-    def _best_split(self, X, onehot, indices):
-        if onehot.shape[1] == 2:
-            return self._best_split_binary(X, onehot, indices)
-        return self._best_split_general(X, onehot, indices)
+    def fit_candidates(
+        self,
+        candidates,
+        X,
+        y,
+        sample_weight=None,
+        presort: Optional[Presort] = None,
+    ):
+        """Fit one tree per parameter dict, sharing work across the family.
 
-    def _best_split_binary(self, X, onehot, indices):
-        """Vectorized split search over all features at once (binary labels).
-
-        This is the hot path for the lifecycle's grid searches: one batch of
-        matrix operations per node instead of a Python loop over features.
+        Grid-search hook: candidates that differ only in ``max_depth``
+        share a single deep induction, because a split decision depends
+        only on the node's samples — ``max_depth`` merely stops the
+        recursion, so a depth-limited tree is exactly the depth-truncation
+        of the deeper tree fit with the same remaining parameters (node
+        distributions are recorded on internal nodes during the deep fit).
+        The deepest member of each family is fit once and the shallower
+        members are materialized by truncating copies; every returned
+        estimator is node-for-node identical to an individual ``fit``.
         """
-        node = X[indices]
-        n, d = node.shape
-        weights = onehot[indices].sum(axis=1)
-        positives = onehot[indices][:, 1]
-        node_weight = weights.sum()
-        if node_weight <= 0:
-            return None
-        node_positive = positives.sum()
-        node_impurity = self._impurity_binary(
-            np.asarray([node_positive]), np.asarray([node_weight])
-        )[0]
+        families: list = []  # [(params-minus-depth, [candidate indices])]
+        for index, params in enumerate(candidates):
+            rest = {k: v for k, v in params.items() if k != "max_depth"}
+            for key, members in families:
+                if key == rest:
+                    members.append(index)
+                    break
+            else:
+                families.append((rest, [index]))
 
-        order = np.argsort(node, axis=0, kind="mergesort")
-        sorted_values = np.take_along_axis(node, order, axis=0)
-        cum_weight = np.cumsum(weights[order], axis=0)
-        cum_positive = np.cumsum(positives[order], axis=0)
-
-        # split after row i: left = rows 0..i
-        candidate = sorted_values[:-1] < sorted_values[1:]
-        positions = np.arange(1, n)
-        min_leaf = self.min_samples_leaf
-        size_ok = (positions >= min_leaf) & (n - positions >= min_leaf)
-        candidate &= size_ok[:, None]
-        if not candidate.any():
-            return None
-
-        left_w = cum_weight[:-1]
-        left_p = cum_positive[:-1]
-        right_w = node_weight - left_w
-        right_p = node_positive - left_p
-        valid = candidate & (left_w > 0) & (right_w > 0)
-        if not valid.any():
-            return None
-        left_impurity = self._impurity_binary(left_p, left_w)
-        right_impurity = self._impurity_binary(right_p, right_w)
-        children = (left_w * left_impurity + right_w * right_impurity) / node_weight
-        gains = np.where(valid, node_impurity - children, -np.inf)
-        flat = int(np.argmax(gains))
-        row, feature = np.unravel_index(flat, gains.shape)
-        if not np.isfinite(gains[row, feature]):
-            return None
-        threshold = 0.5 * (
-            sorted_values[row, feature] + sorted_values[row + 1, feature]
-        )
-        return int(feature), float(threshold), float(gains[row, feature])
-
-    def _impurity_binary(self, positive_weight, total_weight):
-        safe = np.where(total_weight > 0, total_weight, 1.0)
-        p = positive_weight / safe
-        if self.criterion == "gini":
-            return 2.0 * p * (1.0 - p)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            entropy = -(
-                np.where(p > 0, p * np.log2(p), 0.0)
-                + np.where(p < 1, (1.0 - p) * np.log2(1.0 - p), 0.0)
-            )
-        return entropy
-
-    def _best_split_general(self, X, onehot, indices):
-        best = None
-        best_gain = -np.inf
-        node_counts = onehot[indices].sum(axis=0)
-        node_weight = node_counts.sum()
-        if node_weight <= 0:
-            return None
-        node_impurity = self._impurity(node_counts[None, :], node_weight)[0]
-        min_leaf = self.min_samples_leaf
-        n = len(indices)
-        for feature in range(X.shape[1]):
-            values = X[indices, feature]
-            order = np.argsort(values, kind="mergesort")
-            sorted_values = values[order]
-            if sorted_values[0] == sorted_values[-1]:
-                continue
-            sorted_onehot = onehot[indices[order]]
-            left_cumulative = np.cumsum(sorted_onehot, axis=0)
-            # candidate split after position i (left = 0..i)
-            boundaries = np.nonzero(sorted_values[:-1] < sorted_values[1:])[0]
-            if boundaries.size == 0:
-                continue
-            valid = boundaries[
-                (boundaries + 1 >= min_leaf) & (n - boundaries - 1 >= min_leaf)
+        fitted = [None] * len(candidates)
+        for _, members in families:
+            depths = [
+                candidates[i].get("max_depth", self.max_depth) for i in members
             ]
-            if valid.size == 0:
-                continue
-            left_counts = left_cumulative[valid]
-            right_counts = node_counts[None, :] - left_counts
-            left_weight = left_counts.sum(axis=1)
-            right_weight = right_counts.sum(axis=1)
-            ok = (left_weight > 0) & (right_weight > 0)
-            if not ok.any():
-                continue
-            left_impurity = self._impurity(left_counts, left_weight)
-            right_impurity = self._impurity(right_counts, right_weight)
-            children = (
-                left_weight * left_impurity + right_weight * right_impurity
-            ) / node_weight
-            gains = np.where(ok, node_impurity - children, -np.inf)
-            pick = int(np.argmax(gains))
-            if gains[pick] > best_gain:
-                best_gain = float(gains[pick])
-                position = valid[pick]
-                threshold = 0.5 * (sorted_values[position] + sorted_values[position + 1])
-                best = (feature, float(threshold), best_gain)
-        return best
-
-    def _impurity(self, counts: np.ndarray, totals) -> np.ndarray:
-        totals = np.asarray(totals, dtype=np.float64).reshape(-1, 1)
-        safe = np.where(totals > 0, totals, 1.0)
-        p = counts / safe
-        if self.criterion == "gini":
-            return 1.0 - (p**2).sum(axis=1)
-        with np.errstate(divide="ignore", invalid="ignore"):
-            logp = np.where(p > 0, np.log2(p), 0.0)
-        return -(p * logp).sum(axis=1)
+            deepest = None if any(d is None for d in depths) else max(depths)
+            deep_model = clone(self).set_params(**candidates[members[0]])
+            deep_model.set_params(max_depth=deepest)
+            deep_model.fit(X, y, sample_weight=sample_weight, presort=presort)
+            for index, depth in zip(members, depths):
+                model = clone(self).set_params(**candidates[index])
+                model.classes_ = deep_model.classes_
+                model.n_features_ = deep_model.n_features_
+                if depth == deepest:
+                    model.tree_ = deep_model.tree_
+                    model.depth_ = deep_model.depth_
+                    model.n_leaves_ = deep_model.n_leaves_
+                else:
+                    model.tree_ = _truncate(deep_model.tree_, depth)
+                    model.depth_ = _tree_depth(model.tree_)
+                    model.n_leaves_ = _count_leaves(model.tree_)
+                fitted[index] = model
+        return fitted
 
     # ------------------------------------------------------------------
     # prediction
@@ -275,13 +236,52 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         return self.classes_[np.argmax(proba, axis=1)]
 
 
+def _truncate(node: _Node, max_depth: int) -> _Node:
+    """Copy of the tree cut at ``max_depth``; cut nodes become leaves.
+
+    Internal nodes already carry their class distribution, so the
+    truncated copy is exactly the tree a depth-limited fit would build.
+    """
+    root = _Node(node.distribution, node.n_samples)
+    stack = [(node, root, 0)]
+    while stack:
+        source, copy, depth = stack.pop()
+        if source.is_leaf or depth >= max_depth:
+            continue
+        copy.feature = source.feature
+        copy.threshold = source.threshold
+        copy.left = _Node(source.left.distribution, source.left.n_samples)
+        copy.right = _Node(source.right.distribution, source.right.n_samples)
+        stack.append((source.left, copy.left, depth + 1))
+        stack.append((source.right, copy.right, depth + 1))
+    return root
+
+
 def _tree_depth(node: _Node) -> int:
-    if node.is_leaf:
-        return 0
-    return 1 + max(_tree_depth(node.left), _tree_depth(node.right))
+    """Depth via explicit stack — safe for trees deeper than the
+    interpreter recursion limit."""
+    depth = 0
+    stack = [(node, 0)]
+    while stack:
+        current, level = stack.pop()
+        if current.is_leaf:
+            if level > depth:
+                depth = level
+        else:
+            stack.append((current.left, level + 1))
+            stack.append((current.right, level + 1))
+    return depth
 
 
 def _count_leaves(node: _Node) -> int:
-    if node.is_leaf:
-        return 1
-    return _count_leaves(node.left) + _count_leaves(node.right)
+    """Leaf count via explicit stack (see :func:`_tree_depth`)."""
+    leaves = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        if current.is_leaf:
+            leaves += 1
+        else:
+            stack.append(current.left)
+            stack.append(current.right)
+    return leaves

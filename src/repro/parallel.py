@@ -1,0 +1,131 @@
+"""Fork-based group fan-out shared by executors and grid search.
+
+One scheduling core serves both layers of parallelism in the system: the
+experiment executors (:mod:`repro.core.executors`) fan preparation groups
+out over worker processes, and :class:`repro.learn.GridSearchCV` fans
+candidate×fold chunks out inside a single experiment run.
+
+The pool uses the ``fork`` start method on purpose: payloads routinely
+contain closures, lambdas and fitted estimators that do not pickle.
+The payload, worker callable and group list are published in a module
+global before the pool spawns, each forked worker inherits them, and only
+group *indices* cross the process boundary on the way in (results are
+pickled on the way back, so they must be picklable).
+
+Because workers share nothing but the immutable payload, parallel runs
+produce results identical to serial execution.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Callable, List, Optional, Sequence, Tuple
+
+#: (payload, worker, groups) inherited by forked pool workers
+_WORKER_STATE: Optional[Tuple] = None
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _run_indexed(index: int):
+    state = _WORKER_STATE
+    if state is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker has no published state; pool misconfigured")
+    payload, worker, groups = state
+    return worker(payload, groups[index])
+
+
+def run_groups(
+    payload,
+    worker: Callable,
+    groups: Sequence,
+    jobs: int,
+    on_done: Callable[[int, object, object], None],
+) -> None:
+    """Run ``worker(payload, group)`` for every group.
+
+    ``on_done(index, group, result)`` fires as each group completes —
+    incrementally, in completion order under the pool — so callers can
+    persist partial progress. With ``jobs <= 1``, a single group, or no
+    fork support, execution happens serially in submission order.
+
+    If a group raises, unstarted groups are cancelled, in-flight groups
+    are allowed to finish and are still reported through ``on_done``,
+    and the error then propagates.
+    """
+    groups = list(groups)
+    jobs = min(int(jobs), len(groups))
+    if jobs > 1 and not fork_available():
+        warnings.warn(
+            "parallel execution needs the 'fork' start method to ship "
+            "work to child processes; running serially instead",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        jobs = 1
+    if jobs <= 1:
+        for index, group in enumerate(groups):
+            on_done(index, group, worker(payload, group))
+        return
+
+    global _WORKER_STATE
+    # save/restore rather than reset: a nested run_groups (e.g. a
+    # GridSearchCV n_jobs fan-out inside an executor worker) must leave
+    # the state this process inherited at fork intact for its next task
+    inherited = _WORKER_STATE
+    _WORKER_STATE = (payload, worker, groups)
+    try:
+        context = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(max_workers=jobs, mp_context=context) as pool:
+            futures = {
+                pool.submit(_run_indexed, index): index
+                for index in range(len(groups))
+            }
+            reported = set()
+            try:
+                remaining = set(futures)
+                while remaining:
+                    finished, remaining = wait(remaining, return_when=FIRST_COMPLETED)
+                    for future in finished:
+                        result = future.result()
+                        index = futures[future]
+                        reported.add(future)
+                        on_done(index, groups[index], result)
+            except BaseException:
+                # a failed group must not discard work other processes
+                # completed: stop unstarted groups, let in-flight ones
+                # finish (pool shutdown waits for them regardless) and
+                # report every success before propagating
+                for future in futures:
+                    future.cancel()
+                wait(set(futures))
+                for future in futures:
+                    if (
+                        future not in reported
+                        and future.done()
+                        and not future.cancelled()
+                        and future.exception() is None
+                    ):
+                        index = futures[future]
+                        on_done(index, groups[index], future.result())
+                raise
+    finally:
+        _WORKER_STATE = inherited
+
+
+def split_for_balance(groups: List[list], workers: int) -> List[list]:
+    """Split the largest groups until every worker can stay busy."""
+    groups = [list(group) for group in groups]
+    while len(groups) < workers:
+        largest = max(groups, key=len)
+        if len(largest) < 2:
+            break
+        groups.remove(largest)
+        middle = len(largest) // 2
+        groups.extend([largest[:middle], largest[middle:]])
+    return groups

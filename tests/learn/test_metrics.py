@@ -115,3 +115,58 @@ class TestProbMetrics:
 
     def test_brier_worst(self):
         assert brier_score([1, 0], [0.0, 1.0]) == 1.0
+
+
+class TestConfusionMatrixFastPath:
+    """The searchsorted/bincount accumulation must match the dict loop."""
+
+    def loop(self, y_true, y_pred, labels, sample_weight=None):
+        from repro.learn.metrics import _confusion_matrix_loop, _weights
+
+        y_true = np.asarray(y_true)
+        return _confusion_matrix_loop(
+            y_true, np.asarray(y_pred), list(labels), _weights(sample_weight, len(y_true))
+        )
+
+    def test_weighted_string_labels_match_loop(self):
+        rng = np.random.default_rng(0)
+        labels = ["alpha", "beta", "gamma", "delta"]
+        pool = np.asarray(labels, dtype=object)
+        y_true = pool[rng.integers(0, 4, 2000)]
+        y_pred = pool[rng.integers(0, 4, 2000)]
+        weights = rng.random(2000)
+        fast = confusion_matrix(y_true, y_pred, labels=labels, sample_weight=weights)
+        assert np.array_equal(fast, self.loop(y_true, y_pred, labels, weights))
+
+    def test_unsorted_numeric_label_order_is_respected(self):
+        labels = [5, 1, 3]
+        y_true = np.asarray([5, 1, 3, 3, 5])
+        y_pred = np.asarray([1, 1, 3, 5, 5])
+        fast = confusion_matrix(y_true, y_pred, labels=labels)
+        assert np.array_equal(fast, self.loop(y_true, y_pred, labels))
+        assert fast[0, 1] == 1.0  # true 5 predicted 1 lands at (row 5, col 1)
+
+    def test_out_of_set_error_matches_loop(self):
+        with pytest.raises(ValueError, match="label outside provided label set"):
+            confusion_matrix(["a", "z"], ["a", "a"], labels=["a", "b"])
+        # the first offending row is reported, as in the loop
+        try:
+            confusion_matrix(["a", "z", "q"], ["a", "a", "a"], labels=["a", "b"])
+        except ValueError as error:
+            assert "'z'" in str(error) and "'q'" not in str(error)
+
+    def test_prediction_outside_label_set(self):
+        with pytest.raises(ValueError, match="label outside provided label set"):
+            confusion_matrix(["a", "a"], ["a", "q"], labels=["a", "b"])
+
+    def test_unsortable_mixed_labels_fall_back_to_loop(self):
+        labels = [1, "a"]
+        y = np.asarray([1, "a", 1], dtype=object)
+        p = np.asarray(["a", "a", 1], dtype=object)
+        out = confusion_matrix(y, p, labels=labels)
+        assert out.sum() == 3.0
+        assert np.array_equal(out, self.loop(y, p, labels))
+
+    def test_empty_input(self):
+        out = confusion_matrix([], [], labels=["a", "b"])
+        assert np.array_equal(out, np.zeros((2, 2)))

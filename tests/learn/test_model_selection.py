@@ -207,3 +207,83 @@ class TestCrossValScore:
         a = cross_val_score(DecisionTreeClassifier(max_depth=2), X, y, cv=3, random_state=1)
         b = cross_val_score(DecisionTreeClassifier(max_depth=2), X, y, cv=3, random_state=1)
         assert np.array_equal(a, b)
+
+
+class TestCrossValScoreScoring:
+    def test_custom_scoring_is_used(self):
+        X, y = _data()
+
+        def negative_accuracy(model, X_val, y_val):
+            return -np.mean(model.predict(X_val) == y_val)
+
+        scores = cross_val_score(
+            DecisionTreeClassifier(max_depth=3), X, y, cv=3, random_state=0,
+            scoring=negative_accuracy,
+        )
+        assert (scores <= 0).all()
+
+    def test_default_scoring_unchanged(self):
+        X, y = _data()
+        default = cross_val_score(
+            DecisionTreeClassifier(max_depth=2), X, y, cv=3, random_state=1
+        )
+        explicit = cross_val_score(
+            DecisionTreeClassifier(max_depth=2), X, y, cv=3, random_state=1,
+            scoring=lambda model, X_val, y_val: float(
+                np.mean(model.predict(X_val) == y_val)
+            ),
+        )
+        assert np.array_equal(default, explicit)
+
+    def test_scoring_receives_fitted_estimator(self):
+        X, y = _data()
+        seen = []
+
+        def probe(model, X_val, y_val):
+            seen.append(model.depth_)
+            return 0.0
+
+        cross_val_score(
+            DecisionTreeClassifier(max_depth=2), X, y, cv=3, random_state=0,
+            scoring=probe,
+        )
+        assert len(seen) == 3
+
+
+class TestGridSearchNJobs:
+    def test_parallel_equals_serial(self):
+        X, y = _data(n=150)
+        grid = {"max_depth": [1, 2, 3], "criterion": ["gini", "entropy"]}
+        serial = GridSearchCV(
+            DecisionTreeClassifier(), grid, cv=3, random_state=4
+        ).fit(X, y)
+        fanned = GridSearchCV(
+            DecisionTreeClassifier(), grid, cv=3, random_state=4, n_jobs=2
+        ).fit(X, y)
+        assert serial.cv_results_ == fanned.cv_results_
+        assert serial.best_params_ == fanned.best_params_
+
+    def test_parallel_with_custom_unpicklable_scoring(self):
+        # fork inherits closures: the scorer never crosses the boundary
+        X, y = _data(n=120)
+        offset = 0.25
+
+        def shifted(model, X_val, y_val):
+            return float(np.mean(model.predict(X_val) == y_val)) + offset
+
+        search = GridSearchCV(
+            DecisionTreeClassifier(), {"max_depth": [1, 2]}, cv=3,
+            random_state=0, scoring=shifted, n_jobs=2,
+        ).fit(X, y)
+        assert all(r["mean_score"] > offset - 1e-9 for r in search.cv_results_)
+
+    def test_n_jobs_on_non_tree_estimator(self):
+        X, y = _data(n=120)
+        grid = {"alpha": [0.0001, 0.01]}
+        serial = GridSearchCV(
+            SGDClassifier(random_state=0), grid, cv=3, random_state=0
+        ).fit(X, y)
+        fanned = GridSearchCV(
+            SGDClassifier(random_state=0), grid, cv=3, random_state=0, n_jobs=2
+        ).fit(X, y)
+        assert serial.cv_results_ == fanned.cv_results_

@@ -1,0 +1,248 @@
+"""Golden tests: the presorted splitter reproduces the seed tree exactly.
+
+The presort backend promises *structural identity* — the same feature /
+threshold / gain sequence, node for node — with the per-node argsort
+implementation it replaced. These tests hold it to that across the four
+benchmark datasets' tuning grids, sample weighting, multi-class labels,
+the fit-context hint, and the grid-search family fit.
+"""
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.core.featurization import Featurizer
+from repro.core.missing_values import ModeImputer
+from repro.datasets import load_dataset
+from repro.learn import (
+    DecisionTreeClassifier,
+    GridSearchCV,
+    KFold,
+    Presort,
+    accuracy_score,
+    clone,
+)
+from repro.learn.model_selection import ParameterGrid
+
+from .reference_impl import ReferenceDecisionTree
+
+# the paper's tree grid, thinned to keep the slow reference fits tractable
+TUNING_GRID = {
+    "criterion": ["gini", "entropy"],
+    "max_depth": [3, 10],
+    "min_samples_leaf": [1, 10],
+    "min_samples_split": [2, 20],
+}
+
+DATASETS = [("adult", 700), ("germancredit", 600), ("propublica", 600), ("ricci", None)]
+
+
+def featurized(name, n):
+    frame, spec = load_dataset(name, n=n, seed=0)
+    columns = list(spec.numeric_features) + list(spec.categorical_features)
+    frame = ModeImputer().fit(frame, columns, 0).handle_missing(frame)
+    data = Featurizer(spec).fit(frame).transform(frame)
+    return data.features, data.labels, data.instance_weights
+
+
+def tree_signature(model):
+    """Every node's (feature, threshold, size, distribution), preorder."""
+    nodes = []
+    stack = [model.tree_]
+    while stack:
+        node = stack.pop()
+        nodes.append(
+            (node.feature, node.threshold, node.n_samples, node.distribution.tobytes())
+        )
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)
+    return nodes
+
+
+def assert_same_tree(model, reference):
+    assert tree_signature(model) == tree_signature(reference)
+
+
+class TestNodeForNodeIdentity:
+    @pytest.mark.parametrize("dataset,n_rows", DATASETS)
+    def test_tuning_grid_trees_match_seed(self, dataset, n_rows):
+        X, y, weights = featurized(dataset, n_rows)
+        for params in ParameterGrid(TUNING_GRID):
+            fast = DecisionTreeClassifier(**params).fit(X, y, sample_weight=weights)
+            slow = ReferenceDecisionTree(**params).fit(X, y, sample_weight=weights)
+            assert_same_tree(fast, slow)
+
+    def test_arbitrary_sample_weights(self):
+        X, y, _ = featurized("germancredit", 400)
+        weights = np.random.default_rng(7).random(len(y)) * 3.0
+        for criterion in ("gini", "entropy"):
+            fast = DecisionTreeClassifier(criterion=criterion, max_depth=8).fit(
+                X, y, sample_weight=weights
+            )
+            slow = ReferenceDecisionTree(criterion=criterion, max_depth=8).fit(
+                X, y, sample_weight=weights
+            )
+            assert_same_tree(fast, slow)
+
+    def test_multiclass_general_criterion_path(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(400, 6))
+        y = rng.integers(0, 5, 400)
+        for params in (
+            dict(criterion="gini", max_depth=6),
+            dict(criterion="entropy", max_depth=None, min_samples_leaf=4),
+        ):
+            assert_same_tree(
+                DecisionTreeClassifier(**params).fit(X, y),
+                ReferenceDecisionTree(**params).fit(X, y),
+            )
+
+    def test_tied_gains_break_identically(self):
+        # symmetric one-hot features produce exactly equal gains; the
+        # winner must match the seed's argmax order
+        X = np.asarray(
+            [[1.0, 0.0], [1.0, 0.0], [0.0, 1.0], [0.0, 1.0]] * 6
+        )
+        y = np.asarray([0, 1] * 12)
+        assert_same_tree(
+            DecisionTreeClassifier().fit(X, y), ReferenceDecisionTree().fit(X, y)
+        )
+
+
+class TestPresortHint:
+    def test_hint_does_not_change_the_tree(self):
+        X, y, _ = featurized("germancredit", 500)
+        hinted = DecisionTreeClassifier(criterion="entropy", max_depth=10).fit(
+            X, y, presort=Presort(X)
+        )
+        plain = DecisionTreeClassifier(criterion="entropy", max_depth=10).fit(X, y)
+        assert_same_tree(hinted, plain)
+
+    def test_one_presort_serves_many_candidates(self):
+        X, y, _ = featurized("germancredit", 500)
+        shared = Presort(X)
+        for params in (dict(max_depth=3), dict(max_depth=8), dict(criterion="entropy")):
+            hinted = DecisionTreeClassifier(**params).fit(X, y, presort=shared)
+            plain = DecisionTreeClassifier(**params).fit(X, y)
+            assert_same_tree(hinted, plain)
+
+    def test_stale_hint_for_other_matrix_is_ignored(self):
+        X, y, _ = featurized("germancredit", 500)
+        other = Presort(np.ascontiguousarray(X[:250]))
+        model = DecisionTreeClassifier(max_depth=6).fit(X, y, presort=other)
+        assert_same_tree(model, DecisionTreeClassifier(max_depth=6).fit(X, y))
+
+    def test_presort_rejects_non_matrix(self):
+        with pytest.raises(ValueError, match="2-D"):
+            Presort(np.zeros(5))
+
+
+class TestFitCandidates:
+    def test_family_fit_equals_individual_fits(self):
+        X, y, _ = featurized("germancredit", 500)
+        candidates = list(ParameterGrid(TUNING_GRID))
+        family = DecisionTreeClassifier().fit_candidates(candidates, X, y)
+        for params, model in zip(candidates, family):
+            assert model.get_params()["max_depth"] == params["max_depth"]
+            assert_same_tree(model, DecisionTreeClassifier(**params).fit(X, y))
+            individual = DecisionTreeClassifier(**params).fit(X, y)
+            assert model.depth_ == individual.depth_
+            assert model.n_leaves_ == individual.n_leaves_
+
+    def test_family_fit_with_unbounded_depth(self):
+        X, y, _ = featurized("ricci", None)
+        candidates = [
+            {"max_depth": 2, "min_samples_leaf": 1},
+            {"max_depth": None, "min_samples_leaf": 1},
+            {"max_depth": 4, "min_samples_leaf": 1},
+        ]
+        family = DecisionTreeClassifier().fit_candidates(candidates, X, y)
+        for params, model in zip(candidates, family):
+            assert_same_tree(model, DecisionTreeClassifier(**params).fit(X, y))
+
+
+class TestGridSearchIdentity:
+    """The fold-major, presort-sharing, family-fitting search must score
+    exactly like the seed's candidate-major loop."""
+
+    def seed_results(self, make_model, grid, X, y, cv, random_state, sample_weight=None):
+        candidates = list(ParameterGrid(grid))
+        folds = list(KFold(cv, shuffle=True, random_state=random_state).split(len(y)))
+        results = []
+        for params in candidates:
+            fold_scores = []
+            for train_idx, valid_idx in folds:
+                model = make_model().set_params(**params)
+                kwargs = {}
+                if sample_weight is not None:
+                    kwargs["sample_weight"] = np.asarray(sample_weight)[train_idx]
+                model.fit(X[train_idx], y[train_idx], **kwargs)
+                fold_scores.append(
+                    accuracy_score(y[valid_idx], model.predict(X[valid_idx]))
+                )
+            fold_scores = np.asarray(fold_scores, dtype=np.float64)
+            results.append(
+                {
+                    "params": params,
+                    "mean_score": float(np.nanmean(fold_scores)),
+                    "std_score": float(np.nanstd(fold_scores)),
+                    "fold_scores": fold_scores.tolist(),
+                }
+            )
+        return results
+
+    def test_cv_results_byte_identical_to_seed_loop(self):
+        X, y, _ = featurized("germancredit", 500)
+        grid = {"criterion": ["gini", "entropy"], "max_depth": [3, 5, 10]}
+        search = GridSearchCV(DecisionTreeClassifier(), grid, cv=4, random_state=11)
+        search.fit(X, y)
+        assert search.cv_results_ == self.seed_results(
+            ReferenceDecisionTree, grid, X, y, 4, 11
+        )
+
+    def test_weighted_cv_results_byte_identical(self):
+        X, y, weights = featurized("adult", 500)
+        grid = {"criterion": ["gini", "entropy"], "max_depth": [3, 10]}
+        search = GridSearchCV(DecisionTreeClassifier(), grid, cv=3, random_state=2)
+        search.fit(X, y, sample_weight=weights)
+        assert search.cv_results_ == self.seed_results(
+            ReferenceDecisionTree, grid, X, y, 3, 2, sample_weight=weights
+        )
+
+    def test_n_jobs_matches_serial(self):
+        X, y, _ = featurized("germancredit", 400)
+        grid = {"criterion": ["gini", "entropy"], "max_depth": [3, 8]}
+        serial = GridSearchCV(DecisionTreeClassifier(), grid, cv=3, random_state=0)
+        fanned = GridSearchCV(
+            DecisionTreeClassifier(), grid, cv=3, random_state=0, n_jobs=3
+        )
+        assert serial.fit(X, y).cv_results_ == fanned.fit(X, y).cv_results_
+        assert serial.best_params_ == fanned.best_params_
+
+    def test_n_jobs_exceeding_folds_splits_candidates(self):
+        X, y, _ = featurized("ricci", None)
+        grid = {"max_depth": [2, 3, 4, 5]}
+        serial = GridSearchCV(DecisionTreeClassifier(), grid, cv=2, random_state=0)
+        fanned = GridSearchCV(
+            DecisionTreeClassifier(), grid, cv=2, random_state=0, n_jobs=4
+        )
+        assert serial.fit(X, y).cv_results_ == fanned.fit(X, y).cv_results_
+
+
+class TestDeepTrees:
+    def test_chain_tree_deeper_than_recursion_limit(self):
+        # alternating labels over a sorted unique feature peel one leaf
+        # per level: a comb far deeper than the interpreter stack allows
+        n = 3 * sys.getrecursionlimit()
+        X = np.arange(n, dtype=np.float64).reshape(-1, 1)
+        y = np.arange(n) % 2
+        model = DecisionTreeClassifier(max_depth=None).fit(X, y)
+        assert model.depth_ == n - 1
+        assert model.n_leaves_ == n
+        assert model.score(X, y) == 1.0
+
+    def test_clone_roundtrip_keeps_hyperparameters(self):
+        model = DecisionTreeClassifier(criterion="entropy", max_depth=7)
+        assert clone(model).get_params() == model.get_params()
