@@ -1,0 +1,219 @@
+"""Benchmarks for the model-serving subsystem.
+
+Measures the two serving paths of :mod:`repro.serve.scoring` against their
+naive alternatives:
+
+* **batch scoring** — rows/sec of a registry-reloaded
+  :class:`ScoringEngine` over a raw-schema frame, vs. re-running the full
+  ``Experiment`` evaluation (the only way to get predictions for new rows
+  before this subsystem existed);
+* **single-record latency** — p50 of the frame-free fast path vs. routing
+  each record through a one-row DataFrame + the batch path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # measure + record
+    PYTHONPATH=src python benchmarks/bench_serve.py --smoke    # tiny CI gate
+
+The default run merges measurements into ``benchmarks/BENCH_serve.json``.
+``--smoke`` runs a small workload once, asserts the correctness invariants
+(reloaded pipeline reproduces in-process predictions byte for byte; the
+fast path agrees with the batch path), and enforces the committed speedup
+floors, so CI catches both a broken serving path and a regressed recording.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import DecisionTree, Experiment, ModeImputer
+from repro.datasets import load_dataset
+from repro.frame import DataFrame, train_validation_test_masks
+from repro.serve import ModelRegistry, ScoringEngine
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_serve.json")
+
+# floors enforced by --smoke against the committed trajectory; the 10x
+# batch floor is the ISSUE's acceptance criterion
+SPEEDUP_FLOORS = {"batch_vs_experiment": 10.0, "single_fast_vs_frame": 2.0}
+
+ADULT_ROWS = 6000
+SMOKE_ROWS = 1200
+SINGLE_RECORDS = 200
+
+
+def _build(n_rows: int, seed: int = 1):
+    """Train the adult pipeline once; return everything the benches need."""
+    frame, spec = load_dataset("adult", n=n_rows)
+    experiment = Experiment(
+        frame=frame,
+        spec=spec,
+        random_seed=seed,
+        learner=DecisionTree(tuned=False),
+        missing_value_handler=ModeImputer(),
+    )
+    prepared = experiment.prepare()
+    trained = experiment.train_candidates(prepared)
+    result = experiment.evaluate(prepared, trained)
+    _, _, test_mask = train_validation_test_masks(frame.num_rows, 0.7, 0.1, seed)
+    raw_test = frame.mask(test_mask)
+    return experiment, prepared, trained, result, frame, spec, raw_test
+
+
+def _reloaded_engine(experiment, prepared, trained, result, root) -> ScoringEngine:
+    registry = ModelRegistry(root)
+    experiment.export_pipeline(prepared, trained, result, registry=registry)
+    model_id = registry.list_models()[0]["model_id"]
+    # a fresh registry object reloads everything from disk, like a new process
+    return ScoringEngine(ModelRegistry(root).load_pipeline(model_id))
+
+
+def _records(raw_test: DataFrame, limit: int):
+    columns = raw_test.columns
+    decoded = {c: raw_test.col(c).values for c in columns}
+    return [
+        {c: decoded[c][i] for c in columns} for i in range(min(limit, raw_test.num_rows))
+    ]
+
+
+def run_benchmarks(n_rows: int, repeats: int, smoke: bool) -> dict:
+    experiment, prepared, trained, result, frame, spec, raw_test = _build(n_rows)
+    with tempfile.TemporaryDirectory() as root:
+        engine = _reloaded_engine(experiment, prepared, trained, result, root)
+
+        # correctness invariants (always checked; CI relies on them)
+        batch = engine.score_frame(raw_test)
+        model, post = trained.models[result.best_index]
+        expected = post.apply(
+            experiment._predict(model, prepared.test_data_eval, prepared.test_data)
+        )
+        assert np.array_equal(batch.labels, expected.labels), (
+            "reloaded batch predictions are not byte-identical to in-process"
+        )
+        if expected.scores is not None:
+            assert np.array_equal(batch.scores, expected.scores), (
+                "reloaded batch scores are not byte-identical to in-process"
+            )
+        metrics = engine.evaluate_frame(raw_test)
+        for key, value in result.test_metrics.items():
+            got = metrics[key]
+            assert got == value or (got != got and value != value), (
+                f"metric {key} differs after reload: {got} != {value}"
+            )
+
+        records = _records(raw_test, SINGLE_RECORDS if not smoke else 50)
+        for record in records[:20]:
+            fast = engine.score_record(record)
+        # fast path must agree with the batch path (trees: exactly; linear
+        # models may differ by a BLAS-reassociation ulp on scores)
+        for i, record in enumerate(records[:50]):
+            fast = engine.score_record(record)
+            assert fast["label"] == batch.labels[i], (
+                f"fast path label mismatch on record {i}"
+            )
+
+        # ---- throughput: batch serving vs re-running the experiment ----
+        n_scored = batch.num_scored
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            engine.score_frame(raw_test)
+            best = min(best, time.perf_counter() - start)
+        batch_rows_per_sec = n_scored / best
+
+        start = time.perf_counter()
+        Experiment(
+            frame=frame,
+            spec=spec,
+            random_seed=experiment.random_seed,
+            learner=DecisionTree(tuned=False),
+            missing_value_handler=ModeImputer(),
+        ).run()
+        experiment_seconds = time.perf_counter() - start
+        experiment_rows_per_sec = n_scored / experiment_seconds
+
+        # ---- latency: fast path vs one-row-frame path ----
+        kinds = spec.column_kinds()
+
+        def frame_path(record):
+            data = {name: [record.get(name)] for name in kinds if name in record}
+            one = DataFrame.from_dict(
+                data, kinds={k: v for k, v in kinds.items() if k in data}
+            )
+            return engine.score_frame(one)
+
+        fast_latencies, frame_latencies = [], []
+        for record in records:
+            start = time.perf_counter()
+            engine.score_record(record)
+            fast_latencies.append(time.perf_counter() - start)
+        for record in records:
+            start = time.perf_counter()
+            frame_path(record)
+            frame_latencies.append(time.perf_counter() - start)
+        fast_p50 = float(np.median(fast_latencies) * 1000.0)
+        frame_p50 = float(np.median(frame_latencies) * 1000.0)
+
+    return {
+        "measurements": {
+            "batch_rows_per_sec": round(batch_rows_per_sec, 1),
+            "experiment_rows_per_sec": round(experiment_rows_per_sec, 1),
+            "single_fast_p50_ms": round(fast_p50, 4),
+            "single_frame_p50_ms": round(frame_p50, 4),
+        },
+        "speedup": {
+            "batch_vs_experiment": round(
+                batch_rows_per_sec / experiment_rows_per_sec, 2
+            ),
+            "single_fast_vs_frame": round(frame_p50 / fast_p50, 2),
+        },
+        "meta": {"n_rows": n_rows, "test_rows": int(n_scored), "repeats": repeats},
+    }
+
+
+def check_floors() -> None:
+    with open(BENCH_JSON) as handle:
+        recorded = json.load(handle)
+    for name, floor in SPEEDUP_FLOORS.items():
+        value = recorded["speedup"][name]
+        assert value >= floor, (
+            f"committed {name} speedup {value} fell below its floor {floor}; "
+            "re-record BENCH_serve.json from an implementation that restores it"
+        )
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny run + floors")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--repeats", type=int, default=None)
+    args = parser.parse_args()
+    n_rows = args.rows or (SMOKE_ROWS if args.smoke else ADULT_ROWS)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    results = run_benchmarks(n_rows, repeats, smoke=args.smoke)
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    if args.smoke:
+        check_floors()
+        print("\nsmoke checks passed (byte-identity + committed speedup floors)")
+        return 0
+
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nrecorded to {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,17 @@ Commands
 ``run --dataset NAME [options]``
     Execute a single lifecycle run and print the key test metrics.
 ``grid --dataset NAME --seeds N [options]``
-    Execute a seed × intervention sweep and print the aggregate table.
+    Execute a seed × intervention sweep and print the aggregate table
+    (``--export`` publishes the best run's pipeline into a registry).
+``export --dataset NAME --registry PATH [options]``
+    Run one lifecycle and publish the fitted pipeline into a registry.
+``score --registry PATH --model REF --dataset NAME [options]``
+    Reload a pipeline in this (fresh) process and score a batch;
+    ``--verify`` byte-compares against the exported run's predictions.
+``serve --registry PATH --model REF [--host --port]``
+    Start the stdlib HTTP scoring endpoint with runtime monitoring.
+``registry --registry PATH [--list | --promote ID | --rollback]``
+    Inspect and manage tags in a model registry.
 """
 
 from __future__ import annotations
@@ -124,6 +134,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip combinations already present in --output (matched by "
         "run fingerprint) instead of recomputing them",
     )
+    p_grid.add_argument(
+        "--export",
+        default=None,
+        metavar="REGISTRY",
+        help="publish the best run's fitted pipeline into this registry",
+    )
+    p_grid.add_argument(
+        "--export-tag",
+        action="append",
+        default=None,
+        help="tag to promote the exported model to (repeatable)",
+    )
+
+    p_export = sub.add_parser(
+        "export", help="run one lifecycle and publish the fitted pipeline"
+    )
+    _dataset_args(p_export)
+    _component_args(p_export)
+    p_export.add_argument("--seed", type=int, default=0, help="run seed")
+    p_export.add_argument("--registry", required=True, help="registry directory")
+    p_export.add_argument(
+        "--tag", action="append", default=None, help="tag for the model (repeatable)"
+    )
+
+    p_score = sub.add_parser(
+        "score", help="reload an exported pipeline and score a batch"
+    )
+    p_score.add_argument("--registry", required=True, help="registry directory")
+    p_score.add_argument(
+        "--model", default="production", help="model id or tag (default: production)"
+    )
+    _dataset_args(p_score)
+    p_score.add_argument(
+        "--verify",
+        action="store_true",
+        help="score the exported run's own test split and assert byte-for-byte "
+        "agreement with the in-process predictions stored in the artifact",
+    )
+
+    p_serve = sub.add_parser("serve", help="start the HTTP scoring endpoint")
+    p_serve.add_argument("--registry", required=True, help="registry directory")
+    p_serve.add_argument(
+        "--model", default="production", help="model id or tag (default: production)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--window", type=int, default=1000, help="monitoring window size"
+    )
+
+    p_registry = sub.add_parser("registry", help="inspect/manage a model registry")
+    p_registry.add_argument("--registry", required=True, help="registry directory")
+    p_registry.add_argument(
+        "--list", action="store_true", help="list models and tags (the default)"
+    )
+    p_registry.add_argument("--promote", default=None, metavar="MODEL_ID")
+    p_registry.add_argument("--rollback", action="store_true")
+    p_registry.add_argument("--tag", default="production")
     return parser
 
 
@@ -155,6 +223,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_describe(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "export":
+        return _cmd_export(args)
+    if args.command == "score":
+        return _cmd_score(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "registry":
+        return _cmd_registry(args)
     return _cmd_grid(args)
 
 
@@ -198,13 +274,13 @@ def _pick_handler(args, frame, spec):
     return None
 
 
-def _cmd_run(args) -> int:
+def _build_experiment(args) -> Experiment:
     frame, spec = load_dataset(args.dataset, n=args.size)
     intervention = _INTERVENTIONS[args.intervention]()
     from .core.runner import _route_intervention
 
     pre, post = _route_intervention(intervention)
-    result = Experiment(
+    return Experiment(
         frame=frame,
         spec=spec,
         random_seed=args.seed,
@@ -214,7 +290,11 @@ def _cmd_run(args) -> int:
         pre_processor=pre,
         post_processor=post,
         protected_attribute=args.protected,
-    ).run()
+    )
+
+
+def _cmd_run(args) -> int:
+    result = _build_experiment(args).run()
     print(f"dataset={result.dataset} seed={result.random_seed} "
           f"learner={result.best_candidate.learner}")
     print(f"splits: {result.sizes}\n")
@@ -258,6 +338,8 @@ def _cmd_grid(args) -> int:
         progress=lambda done, total, _: print(f"  {done}/{total}", end="\r", file=sys.stderr),
         jobs=args.jobs,
         resume=args.resume,
+        export=args.export,
+        export_tags=args.export_tag,
     )
     print(file=sys.stderr)
     rows = []
@@ -282,6 +364,170 @@ def _cmd_grid(args) -> int:
     ))
     if store:
         print(f"\nper-run records written to {args.output}")
+    if args.export:
+        print(f"best pipeline exported to registry {args.export}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# serving commands
+# ----------------------------------------------------------------------
+def _open_registry(path: str):
+    """Open an existing registry or exit with a clean error."""
+    from .serve import ModelRegistry
+
+    try:
+        return ModelRegistry(path, create=False)
+    except FileNotFoundError as error:
+        print(error, file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _registry_op(operation, *args, **kwargs):
+    """Run a registry lookup/tag operation; unknown refs exit cleanly."""
+    try:
+        return operation(*args, **kwargs)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else error
+        print(message, file=sys.stderr)
+        raise SystemExit(2) from None
+
+
+def _cmd_export(args) -> int:
+    from .serve import ModelRegistry
+
+    registry = ModelRegistry(args.registry)
+    experiment = _build_experiment(args)
+    prepared = experiment.prepare()
+    trained = experiment.train_candidates(prepared)
+    result = experiment.evaluate(prepared, trained)
+    record = experiment.export_pipeline(
+        prepared, trained, result, registry=registry, tags=args.tag
+    )
+    print(f"published model {record['model_id']} to {args.registry}")
+    if args.tag:
+        print(f"tags: {', '.join(args.tag)}")
+    print(
+        f"test accuracy {result.test_metrics['overall__accuracy']:.4f}  "
+        f"disparate impact {result.test_metrics['group__disparate_impact']:.4f}"
+    )
+    return 0
+
+
+def _cmd_score(args) -> int:
+    import numpy as np
+
+    from .frame import train_validation_test_masks
+    from .serve import ScoringEngine
+
+    registry = _open_registry(args.registry)
+    pipeline = _registry_op(registry.load_pipeline, args.model)
+    engine = ScoringEngine(pipeline)
+    meta = pipeline.metadata
+
+    if args.verify:
+        if meta.get("dataset") != args.dataset:
+            print(
+                f"model was trained on {meta.get('dataset')!r}, not "
+                f"{args.dataset!r}",
+                file=sys.stderr,
+            )
+            return 2
+        frame, _ = load_dataset(args.dataset, n=meta.get("num_rows"))
+        _, _, test_mask = train_validation_test_masks(
+            frame.num_rows,
+            meta.get("train_fraction", 0.7),
+            meta.get("validation_fraction", 0.1),
+            int(meta["random_seed"]),
+        )
+        raw_test = frame.mask(test_mask)
+        batch = engine.score_frame(raw_test)
+        expected = meta.get("verification", {})
+        expected_labels = np.asarray(expected.get("test_labels"))
+        if not np.array_equal(batch.labels, expected_labels):
+            print("FAIL: reloaded predictions differ from the exported run")
+            return 1
+        expected_scores = expected.get("test_scores")
+        if expected_scores is not None and not np.array_equal(
+            batch.scores, np.asarray(expected_scores)
+        ):
+            print("FAIL: reloaded scores differ from the exported run")
+            return 1
+        print(
+            f"OK: {batch.num_scored} test rows scored byte-identically to "
+            "the in-process run"
+        )
+        return 0
+
+    frame, _ = load_dataset(args.dataset, n=args.size)
+    batch = engine.score_frame(frame)
+    favorable = float((batch.labels == 1.0).mean())
+    print(
+        f"scored {batch.num_scored}/{frame.num_rows} rows; "
+        f"favorable rate {favorable:.4f}"
+    )
+    if batch.truth is not None:
+        metrics = engine.evaluate_batch(batch)
+        rows = [[name, metrics.get(name, float("nan"))] for name in _KEY_METRICS]
+        print(format_table(["metric", "value"], rows))
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .serve import (
+        FairnessMonitor,
+        ScoringEngine,
+        ScoringService,
+        make_server,
+    )
+
+    registry = _open_registry(args.registry)
+    model_id = _registry_op(registry.resolve, args.model)
+    pipeline = registry.load_pipeline(model_id)
+    monitor = FairnessMonitor(
+        pipeline.protected_attribute, window_size=args.window
+    )
+    service = ScoringService(
+        ScoringEngine(pipeline, monitor=monitor), model_id=model_id
+    )
+    server = make_server(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"serving model {model_id} on http://{host}:{port}", file=sys.stderr)
+    print("routes: GET /healthz  GET /metrics  POST /score", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        pass
+    finally:
+        server.server_close()
+    return 0
+
+
+def _cmd_registry(args) -> int:
+    registry = _open_registry(args.registry)
+    if args.promote:
+        _registry_op(registry.promote, args.promote, tag=args.tag)
+        print(f"{args.tag} -> {args.promote}")
+        return 0
+    if args.rollback:
+        restored = _registry_op(registry.rollback, tag=args.tag)
+        print(f"{args.tag} rolled back to {restored}")
+        return 0
+    tags = registry.tags()
+    reverse: dict = {}
+    for tag, model_id in tags.items():
+        reverse.setdefault(model_id, []).append(tag)
+    rows = []
+    for record in registry.list_models():
+        model_id = record["model_id"]
+        accuracy = record.get("metrics", {}).get("test", {}).get("overall__accuracy")
+        rows.append([
+            model_id,
+            record.get("dataset", "?"),
+            "?" if accuracy is None else f"{accuracy:.4f}",
+            ",".join(sorted(reverse.get(model_id, []))) or "-",
+        ])
+    print(format_table(["model", "dataset", "test_acc", "tags"], rows))
     return 0
 
 

@@ -61,7 +61,7 @@ from .resamplers import (
 )
 from .plan import RunConfig, route_intervention
 from .results import CandidateResult, ResultsStore, RunResult, results_to_rows
-from .runner import GridSpec, run_grid
+from .runner import GridSpec, export_best, run_grid
 from .selection import (
     AccuracySelector,
     BestModelSelector,
@@ -132,5 +132,6 @@ __all__ = [
     "constructor_params",
     "results_to_rows",
     "route_intervention",
+    "export_best",
     "run_grid",
 ]

@@ -61,6 +61,10 @@ class FeaturizedSplits:
     validation_had_missing: np.ndarray
     test_had_missing: np.ndarray
     sizes: Dict[str, int] = field(default_factory=dict)
+    # the fitted preparation components ride along so the best pipeline of a
+    # run can be exported into a model registry after evaluation
+    handler: Optional[MissingValueHandler] = None
+    featurizer: Optional[object] = None
 
 
 @dataclass(frozen=True)
@@ -85,6 +89,12 @@ class PreparedData:
     validation_had_missing: np.ndarray
     test_had_missing: np.ndarray
     sizes: Dict[str, int] = field(default_factory=dict)
+    handler: Optional[MissingValueHandler] = None
+    featurizer: Optional[object] = None
+    # the *fitted* pre-processor: executors share PreparedData across
+    # experiment instances, so the instance that exports a pipeline may
+    # never have fitted its own pre_processor attribute
+    pre_processor: Optional[PreProcessor] = None
 
 
 @dataclass(frozen=True)
@@ -150,10 +160,15 @@ class Experiment:
     # staged execution: run() is a thin composition of the three stages so
     # executor backends can cache/share the expensive preparation artifacts
     # ------------------------------------------------------------------
-    def run(self) -> RunResult:
+    def run(self, export=None, export_tags=None) -> RunResult:
         prepared = self.prepare()
         trained = self.train_candidates(prepared)
-        return self.evaluate(prepared, trained)
+        result = self.evaluate(prepared, trained)
+        if export is not None:
+            self.export_pipeline(
+                prepared, trained, result, registry=export, tags=export_tags
+            )
+        return result
 
     def prepare_splits(self) -> FeaturizedSplits:
         """Split → resample → missing-value handling → featurization.
@@ -215,6 +230,8 @@ class Experiment:
                 "test": test_frame.num_rows,
                 "test_incomplete": int(test_had_missing.sum()),
             },
+            handler=handler,
+            featurizer=featurizer,
         )
 
     def prepare(self, splits: Optional[FeaturizedSplits] = None) -> PreparedData:
@@ -242,6 +259,9 @@ class Experiment:
             validation_had_missing=splits.validation_had_missing,
             test_had_missing=splits.test_had_missing,
             sizes=dict(splits.sizes),
+            handler=splits.handler,
+            featurizer=splits.featurizer,
+            pre_processor=self.pre_processor,
         )
 
     def train_candidates(self, prepared: PreparedData) -> TrainedCandidates:
@@ -318,6 +338,93 @@ class Experiment:
         if self.results_store is not None:
             self.results_store.append(result)
         return result
+
+    # ------------------------------------------------------------------
+    # serving export
+    # ------------------------------------------------------------------
+    def fitted_pipeline(
+        self,
+        prepared: PreparedData,
+        trained: TrainedCandidates,
+        best_index: int,
+        run_key: Optional[str] = None,
+    ):
+        """Bundle the chosen candidate's frozen scoring path as an artifact.
+
+        Returns a :class:`~repro.serve.artifacts.PipelineArtifact` carrying
+        the fitted handler, featurizer, pre-processor (eval side), model and
+        post-processor — everything a fresh process needs to reproduce this
+        run's test-set predictions byte for byte.
+        """
+        from ..serve.artifacts import PipelineArtifact
+
+        if prepared.handler is None or prepared.featurizer is None:
+            raise ValueError(
+                "prepared data lacks its fitted preparation components; "
+                "re-run prepare_splits() with this engine version"
+            )
+        model, post = trained.models[best_index]
+        # the in-process test-set predictions travel with the artifact, so a
+        # fresh process can re-score the same raw rows and assert
+        # byte-for-byte agreement (the serving smoke check)
+        test_pred = post.apply(
+            self._predict(model, prepared.test_data_eval, prepared.test_data)
+        )
+        verification: Dict[str, object] = {"test_labels": test_pred.labels}
+        if test_pred.scores is not None:
+            verification["test_scores"] = test_pred.scores
+        metadata = {
+            "dataset": self.spec.name,
+            "random_seed": prepared.seed,
+            "components": self.component_description(),
+            "best_learner": trained.candidates[best_index].learner,
+            "sizes": dict(prepared.sizes),
+            "train_fraction": self.train_fraction,
+            "validation_fraction": self.validation_fraction,
+            "num_rows": self.frame.num_rows,
+            "verification": verification,
+        }
+        if run_key is not None:
+            metadata["run_key"] = run_key
+        return PipelineArtifact(
+            spec=self.spec,
+            protected_attribute=self.protected_attribute,
+            handler=prepared.handler,
+            featurizer=prepared.featurizer,
+            pre_processor=(
+                prepared.pre_processor
+                if prepared.pre_processor is not None
+                else self.pre_processor
+            ),
+            model=model,
+            post_processor=post,
+            metadata=metadata,
+        )
+
+    def export_pipeline(
+        self,
+        prepared: PreparedData,
+        trained: TrainedCandidates,
+        result: RunResult,
+        registry,
+        tags=None,
+        overwrite: bool = True,
+    ):
+        """Publish the evaluated run's best pipeline into a registry.
+
+        ``registry`` is a :class:`~repro.serve.registry.ModelRegistry` or a
+        filesystem path to create one at. Returns the registry record.
+        """
+        if isinstance(registry, str):
+            from ..serve.registry import ModelRegistry
+
+            registry = ModelRegistry(registry)
+        pipeline = self.fitted_pipeline(
+            prepared, trained, result.best_index, run_key=result.run_key
+        )
+        return registry.publish(
+            pipeline, result=result, tags=list(tags or ()), overwrite=overwrite
+        )
 
     # ------------------------------------------------------------------
     def component_description(self) -> Dict[str, str]:

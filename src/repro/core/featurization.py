@@ -16,8 +16,10 @@ from ..datasets import DatasetSpec
 from ..fairness import BinaryLabelDataset
 from ..frame import DataFrame
 from ..learn import NoOpScaler, OneHotEncoder, clone
+from ..serialize import restore, serializable, state_of
 
 
+@serializable
 class Featurizer:
     """Fit-once/apply-many conversion of raw frames into model inputs.
 
@@ -74,8 +76,8 @@ class Featurizer:
         self.feature_names_ = self._build_feature_names()
         return self
 
-    def transform(self, frame: DataFrame) -> BinaryLabelDataset:
-        """Convert any split into an annotated BinaryLabelDataset."""
+    def feature_matrix(self, frame: DataFrame) -> np.ndarray:
+        """The scaled/encoded feature matrix of a frame (no annotations)."""
         if not hasattr(self, "feature_names_"):
             raise RuntimeError("Featurizer must be fit before transform")
         blocks: List[np.ndarray] = []
@@ -91,9 +93,23 @@ class Featurizer:
             blocks.append(
                 self.encoder_.transform([frame.col(c) for c in self._categorical])
             )
-        features = np.hstack(blocks) if blocks else np.zeros((frame.num_rows, 0))
+        return np.hstack(blocks) if blocks else np.zeros((frame.num_rows, 0))
+
+    def transform(
+        self, frame: DataFrame, require_label: bool = True
+    ) -> BinaryLabelDataset:
+        """Convert any split into an annotated BinaryLabelDataset.
+
+        With ``require_label=False`` (the serving path), frames without the
+        label column are annotated with all-unfavorable placeholder labels —
+        predictions overwrite them and no metric ever reads them.
+        """
+        features = self.feature_matrix(frame)
         protected = self.spec.protected(self.protected_attribute).binary_column(frame)
-        labels = self.spec.label_binary(frame)
+        if require_label or self.spec.label_column in frame:
+            labels = self.spec.label_binary(frame)
+        else:
+            labels = np.zeros(frame.num_rows, dtype=np.float64)
         return BinaryLabelDataset(
             features=features,
             labels=labels,
@@ -119,3 +135,34 @@ class Featurizer:
     @property
     def unprivileged_groups(self):
         return [{self.protected_attribute: 0.0}]
+
+    # ------------------------------------------------------------------
+    # serialization (fitted state only; the spec travels as plain JSON)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        if not hasattr(self, "feature_names_"):
+            raise RuntimeError("Featurizer must be fit before serialization")
+        return {
+            "spec": self.spec.to_dict(),
+            "protected_attribute": self.protected_attribute,
+            "numeric": list(self._numeric),
+            "categorical": list(self._categorical),
+            "scaler_": state_of(self.scaler_) if self._numeric else None,
+            "encoder_": state_of(self.encoder_) if self._categorical else None,
+            "feature_names_": list(self.feature_names_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Featurizer":
+        featurizer = cls(
+            DatasetSpec.from_dict(state["spec"]),
+            protected_attribute=state["protected_attribute"],
+        )
+        featurizer._numeric = list(state["numeric"])
+        featurizer._categorical = list(state["categorical"])
+        if state["scaler_"] is not None:
+            featurizer.scaler_ = restore(state["scaler_"])
+        if state["encoder_"] is not None:
+            featurizer.encoder_ = restore(state["encoder_"])
+        featurizer.feature_names_ = list(state["feature_names_"])
+        return featurizer

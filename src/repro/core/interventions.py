@@ -17,9 +17,11 @@ from ..fairness.postprocessing import (
     RejectOptionClassification,
 )
 from ..fairness.preprocessing import DisparateImpactRemover, Reweighing
+from ..serialize import serializable
 from .components import PostProcessor, PreProcessor
 
 
+@serializable
 class NoIntervention(PreProcessor, PostProcessor):
     """Identity for both intervention stages (the baseline condition)."""
 
@@ -38,7 +40,15 @@ class NoIntervention(PreProcessor, PostProcessor):
     def name(self) -> str:
         return "NoIntervention"
 
+    def to_state(self) -> dict:
+        return {}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "NoIntervention":
+        return cls()
+
+
+@serializable
 class ReweighingPreProcessor(PreProcessor):
     """Kamiran & Calders reweighing: edits training instance weights only."""
 
@@ -55,7 +65,17 @@ class ReweighingPreProcessor(PreProcessor):
     def name(self) -> str:
         return "Reweighing"
 
+    def to_state(self) -> dict:
+        return {"reweighing": self._reweighing.to_state()}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "ReweighingPreProcessor":
+        instance = cls()
+        instance._reweighing = Reweighing.from_state(state["reweighing"])
+        return instance
+
+
+@serializable
 class DIRemover(PreProcessor):
     """Feldman et al. disparate-impact removal at a given repair level.
 
@@ -83,7 +103,22 @@ class DIRemover(PreProcessor):
     def name(self) -> str:
         return f"DIRemover({self.repair_level})"
 
+    def to_state(self) -> dict:
+        if self._remover is None:
+            raise RuntimeError("DIRemover must be fit before serialization")
+        return {
+            "repair_level": self.repair_level,
+            "remover": self._remover.to_state(),
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "DIRemover":
+        instance = cls(repair_level=state["repair_level"])
+        instance._remover = DisparateImpactRemover.from_state(state["remover"])
+        return instance
+
+
+@serializable
 class RejectOptionPostProcessor(PostProcessor):
     """Kamiran et al. reject-option classification (needs scores)."""
 
@@ -119,7 +154,30 @@ class RejectOptionPostProcessor(PostProcessor):
     def name(self) -> str:
         return "RejectOption"
 
+    def to_state(self) -> dict:
+        if not hasattr(self, "_roc"):
+            raise RuntimeError(
+                "RejectOptionPostProcessor must be fit before serialization"
+            )
+        return {
+            "params": {
+                "metric_name": self.metric_name,
+                "metric_ub": self.metric_ub,
+                "metric_lb": self.metric_lb,
+                "num_class_thresh": self.num_class_thresh,
+                "num_ROC_margin": self.num_ROC_margin,
+            },
+            "roc": self._roc.to_state(),
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "RejectOptionPostProcessor":
+        instance = cls(**state["params"])
+        instance._roc = RejectOptionClassification.from_state(state["roc"])
+        return instance
+
+
+@serializable
 class CalibratedEqOddsPostProcessor(PostProcessor):
     """Pleiss et al. calibrated equalized odds (needs scores)."""
 
@@ -141,7 +199,21 @@ class CalibratedEqOddsPostProcessor(PostProcessor):
     def name(self) -> str:
         return f"CalEqOdds({self.cost_constraint})"
 
+    def to_state(self) -> dict:
+        if not hasattr(self, "_ceo"):
+            raise RuntimeError(
+                "CalibratedEqOddsPostProcessor must be fit before serialization"
+            )
+        return {"cost_constraint": self.cost_constraint, "ceo": self._ceo.to_state()}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "CalibratedEqOddsPostProcessor":
+        instance = cls(cost_constraint=state["cost_constraint"])
+        instance._ceo = CalibratedEqOddsPostprocessing.from_state(state["ceo"])
+        return instance
+
+
+@serializable
 class EqOddsPostProcessor(PostProcessor):
     """Hardt et al. equalized odds via the randomized-flip LP."""
 
@@ -158,3 +230,14 @@ class EqOddsPostProcessor(PostProcessor):
 
     def name(self) -> str:
         return "EqOdds"
+
+    def to_state(self) -> dict:
+        if not hasattr(self, "_eq"):
+            raise RuntimeError("EqOddsPostProcessor must be fit before serialization")
+        return {"eq": self._eq.to_state()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "EqOddsPostProcessor":
+        instance = cls()
+        instance._eq = EqOddsPostprocessing.from_state(state["eq"])
+        return instance

@@ -28,6 +28,7 @@ from ..learn import (
     KNeighborsClassifier,
     SGDClassifier,
 )
+from ..serialize import restore, serializable, state_of
 from .components import Learner
 
 LOGISTIC_REGRESSION_GRID: Dict[str, list] = {
@@ -43,6 +44,7 @@ DECISION_TREE_GRID: Dict[str, list] = {
 }
 
 
+@serializable
 class _FittedModel:
     """Uniform wrapper: predictions as favorable/unfavorable float labels."""
 
@@ -71,6 +73,26 @@ class _FittedModel:
     @property
     def inner(self):
         return self._model
+
+    def to_state(self) -> dict:
+        inner = self._model
+        if isinstance(inner, GridSearchCV):
+            # export the winning estimator; the search bookkeeping is an
+            # experiment-time artifact with no serving role
+            inner = inner.best_estimator_
+        return {
+            "model": state_of(inner),
+            "favorable": float(self._favorable),
+            "unfavorable": float(self._unfavorable),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_FittedModel":
+        return cls(
+            restore(state["model"]),
+            favorable=state["favorable"],
+            unfavorable=state["unfavorable"],
+        )
 
 
 class LogisticRegression(Learner):

@@ -25,9 +25,11 @@ from ..learn import (
     StandardScaler,
     nearest_neighbor_indices,
 )
+from ..serialize import serializable
 from .components import MissingValueHandler
 
 
+@serializable
 class CompleteCaseAnalysis(MissingValueHandler):
     """Remove records that have missing values in any feature column."""
 
@@ -42,7 +44,17 @@ class CompleteCaseAnalysis(MissingValueHandler):
     def drops_rows(self) -> bool:
         return True
 
+    def to_state(self) -> dict:
+        return {"feature_columns": list(self._feature_columns)}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "CompleteCaseAnalysis":
+        handler = cls()
+        handler._feature_columns = list(state["feature_columns"])
+        return handler
+
+
+@serializable
 class NoMissingValues(MissingValueHandler):
     """For complete datasets: assert and pass through.
 
@@ -63,7 +75,17 @@ class NoMissingValues(MissingValueHandler):
             )
         return frame
 
+    def to_state(self) -> dict:
+        return {"feature_columns": list(self._feature_columns)}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "NoMissingValues":
+        handler = cls()
+        handler._feature_columns = list(state["feature_columns"])
+        return handler
+
+
+@serializable
 class ModeImputer(MissingValueHandler):
     """Fill missing categoricals with the training mode, numerics with the mean."""
 
@@ -88,7 +110,26 @@ class ModeImputer(MissingValueHandler):
                 out = out.with_column(column.fill_missing(self._fill_values[name]))
         return out
 
+    def to_state(self) -> dict:
+        return {
+            "feature_columns": list(self._feature_columns),
+            # categorical fills are strings, numeric fills are floats; JSON
+            # keeps both apart without extra tagging
+            "fill_values": {
+                name: (value if isinstance(value, str) else float(value))
+                for name, value in self._fill_values.items()
+            },
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "ModeImputer":
+        handler = cls()
+        handler._feature_columns = list(state["feature_columns"])
+        handler._fill_values = dict(state["fill_values"])
+        return handler
+
+
+@serializable
 class LearnedImputer(MissingValueHandler):
     """Model-based per-column imputation (the Datawig substitute).
 
@@ -227,11 +268,74 @@ class LearnedImputer(MissingValueHandler):
         targets = "all" if self.target_columns is None else ",".join(self.target_columns)
         return f"LearnedImputer({targets})"
 
+    def to_state(self) -> dict:
+        if not hasattr(self, "_models"):
+            raise RuntimeError("LearnedImputer must be fit before serialization")
+        models = {}
+        for target, spec in self._models.items():
+            if spec["kind"] == "fallback":
+                models[target] = {"kind": "fallback"}
+            elif spec["kind"] == "classifier":
+                models[target] = {
+                    "kind": "classifier",
+                    "model": spec["model"].to_state(),
+                }
+            else:
+                models[target] = {
+                    "kind": "knn",
+                    "train_X": spec["train_X"],
+                    "train_sq": spec["train_sq"],
+                    "train_y": spec["train_y"],
+                }
+        return {
+            "params": {
+                "target_columns": self.target_columns,
+                "max_depth": self.max_depth,
+                "n_neighbors": self.n_neighbors,
+            },
+            "feature_columns": list(self._feature_columns),
+            "targets": list(self._targets),
+            "fallback": self._fallback.to_state(),
+            "encoder": None if self._encoder is None else self._encoder.to_state(),
+            "models": models,
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "LearnedImputer":
+        handler = cls(**state["params"])
+        handler._feature_columns = list(state["feature_columns"])
+        handler._targets = list(state["targets"])
+        handler._fallback = ModeImputer.from_state(state["fallback"])
+        handler._encoder = (
+            None
+            if state["encoder"] is None
+            else _PredictorEncoder.from_state(state["encoder"])
+        )
+        handler._models = {}
+        for target, spec in state["models"].items():
+            if spec["kind"] == "fallback":
+                handler._models[target] = {"kind": "fallback"}
+            elif spec["kind"] == "classifier":
+                handler._models[target] = {
+                    "kind": "classifier",
+                    "model": DecisionTreeClassifier.from_state(spec["model"]),
+                }
+            else:
+                handler._models[target] = {
+                    "kind": "knn",
+                    "train_X": np.asarray(spec["train_X"], dtype=np.float64),
+                    "train_sq": np.asarray(spec["train_sq"], dtype=np.float64),
+                    "train_y": np.asarray(spec["train_y"], dtype=np.float64),
+                }
+        return handler
+
+
+@serializable
 class DatawigImputer(LearnedImputer):
     """Alias preserving the paper's component name for the learned imputer."""
 
 
+@serializable
 class _PredictorEncoder:
     """Encode a frame's predictor columns to a numeric matrix.
 
@@ -299,3 +403,29 @@ class _PredictorEncoder:
         if not keep.any():
             return np.zeros((matrix.shape[0], 1))
         return matrix[:, keep]
+
+    def to_state(self) -> dict:
+        return {
+            "columns": list(self.columns),
+            "numeric_": list(self.numeric_),
+            "categorical_": list(self.categorical_),
+            "scaler_": self.scaler_.to_state() if self.numeric_ else None,
+            "encoder_": self.encoder_.to_state() if self.categorical_ else None,
+            "spans_": [[name, span] for name, span in self.spans_.items()],
+            "n_outputs_": int(self.n_outputs_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "_PredictorEncoder":
+        encoder = cls(list(state["columns"]))
+        encoder.numeric_ = list(state["numeric_"])
+        encoder.categorical_ = list(state["categorical_"])
+        if state["scaler_"] is not None:
+            encoder.scaler_ = StandardScaler.from_state(state["scaler_"])
+        if state["encoder_"] is not None:
+            encoder.encoder_ = OneHotEncoder.from_state(state["encoder_"])
+        encoder.spans_ = {
+            name: np.asarray(span, dtype=np.int64) for name, span in state["spans_"]
+        }
+        encoder.n_outputs_ = int(state["n_outputs_"])
+        return encoder

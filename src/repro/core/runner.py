@@ -19,6 +19,7 @@ from .executors import (
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    build_experiment,
 )
 from .plan import GridSpec, Intervention, route_intervention
 from .results import ResultsStore, RunResult
@@ -39,6 +40,8 @@ def run_grid(
     resume: bool = False,
     executor: Optional[Executor] = None,
     dataset_fingerprint: Optional[str] = None,
+    export=None,
+    export_tags=None,
 ) -> List[RunResult]:
     """Run every combination in the grid; returns the result records.
 
@@ -48,6 +51,11 @@ def run_grid(
     ``resume=True`` (requires ``results_store``), combinations whose
     ``run_key`` is already stored are returned from the store instead of
     recomputed. Results always come back in grid-expansion order.
+
+    ``export`` (a :class:`~repro.serve.registry.ModelRegistry` or a path)
+    publishes the best run's fitted pipeline — highest best-candidate
+    validation accuracy across the grid — into the registry after the sweep,
+    keyed by that run's ``run_key`` and optionally tagged ``export_tags``.
     """
     if isinstance(dataset, str):
         frame, spec = load_dataset(dataset, n=dataset_size)
@@ -63,14 +71,50 @@ def run_grid(
     )
     if executor is None:
         executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
-    return executor.run(
+    results = executor.run(
         plan, results_store=results_store, resume=resume, progress=progress
+    )
+    if export is not None and results:
+        export_best(plan, results, export, tags=export_tags)
+    return results
+
+
+def export_best(
+    plan: ExecutionPlan,
+    results: List[RunResult],
+    registry,
+    tags=None,
+) -> dict:
+    """Re-fit the grid's best run and publish its pipeline.
+
+    The winner is the run whose chosen candidate has the highest validation
+    accuracy (the grid-level analog of the in-run ``AccuracySelector``).
+    Training is deterministic in (inputs, seed), so the re-fit reproduces
+    the recorded run exactly; the published entry carries that run's
+    ``run_key`` and metric record.
+    """
+
+    def validation_accuracy(result: RunResult) -> float:
+        value = result.best_candidate.validation_metrics.get("overall__accuracy")
+        if value is None or value != value:
+            return float("-inf")
+        return float(value)
+
+    best_position = max(range(len(results)), key=lambda i: validation_accuracy(results[i]))
+    best_result = results[best_position]
+    config = plan.configs[best_position]
+    experiment = build_experiment(plan, config)
+    prepared = experiment.prepare()
+    trained = experiment.train_candidates(prepared)
+    return experiment.export_pipeline(
+        prepared, trained, best_result, registry=registry, tags=tags
     )
 
 
 __all__ = [
     "GridSpec",
     "Intervention",
+    "export_best",
     "run_grid",
     "route_intervention",
 ]

@@ -131,3 +131,42 @@ class DatasetSpec:
     def label_binary(self, frame: DataFrame) -> np.ndarray:
         """Labels as 1.0 (favorable) / 0.0 (unfavorable)."""
         return frame.col(self.label_column).eq(self.favorable_value).astype(np.float64)
+
+    # ------------------------------------------------------------------
+    # JSON round-trip (for serving artifacts: the spec travels with every
+    # exported pipeline so a fresh process can validate scoring inputs)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "label_column": self.label_column,
+            "favorable_value": self.favorable_value,
+            "numeric_features": list(self.numeric_features),
+            "categorical_features": list(self.categorical_features),
+            "protected_attributes": [
+                {
+                    "column": attribute.column,
+                    "privileged_values": list(attribute.privileged_values),
+                }
+                for attribute in self.protected_attributes
+            ],
+            "default_protected": self.default_protected,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "DatasetSpec":
+        return DatasetSpec(
+            name=data["name"],
+            label_column=data["label_column"],
+            favorable_value=data["favorable_value"],
+            numeric_features=tuple(data["numeric_features"]),
+            categorical_features=tuple(data["categorical_features"]),
+            protected_attributes=tuple(
+                ProtectedAttribute(
+                    column=attribute["column"],
+                    privileged_values=tuple(attribute["privileged_values"]),
+                )
+                for attribute in data["protected_attributes"]
+            ),
+            default_protected=data.get("default_protected", ""),
+        )

@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ...serialize import serializable
 from ..dataset import BinaryLabelDataset, GroupSpec
 from ..metrics import ClassificationMetric
 
@@ -24,6 +25,7 @@ _METRICS = (
 )
 
 
+@serializable
 class RejectOptionClassification:
     """Post-processing intervention driven by prediction scores."""
 
@@ -127,6 +129,34 @@ class RejectOptionClassification:
         labels[critical & unprivileged] = dataset_pred.favorable_label
         labels[critical & privileged] = dataset_pred.unfavorable_label
         return dataset_pred.with_predictions(labels=labels)
+
+    def to_state(self) -> dict:
+        if not hasattr(self, "classification_threshold_"):
+            raise RuntimeError(
+                "RejectOptionClassification must be fit before serialization"
+            )
+        return {
+            "params": {
+                "unprivileged_groups": self.unprivileged_groups,
+                "privileged_groups": self.privileged_groups,
+                "low_class_thresh": self.low_class_thresh,
+                "high_class_thresh": self.high_class_thresh,
+                "num_class_thresh": self.num_class_thresh,
+                "num_ROC_margin": self.num_ROC_margin,
+                "metric_name": self.metric_name,
+                "metric_ub": self.metric_ub,
+                "metric_lb": self.metric_lb,
+            },
+            "classification_threshold_": float(self.classification_threshold_),
+            "ROC_margin_": float(self.ROC_margin_),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RejectOptionClassification":
+        instance = cls(**state["params"])
+        instance.classification_threshold_ = float(state["classification_threshold_"])
+        instance.ROC_margin_ = float(state["ROC_margin_"])
+        return instance
 
     def _fairness_value(self, metric: ClassificationMetric) -> float:
         if self.metric_name == "Statistical parity difference":

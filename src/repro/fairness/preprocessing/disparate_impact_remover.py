@@ -17,9 +17,11 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from ...serialize import serializable
 from ..dataset import BinaryLabelDataset, GroupSpec
 
 
+@serializable
 class DisparateImpactRemover:
     """Rank-preserving feature repair toward a between-group median distribution.
 
@@ -128,3 +130,48 @@ class DisparateImpactRemover:
 
     def fit_transform(self, dataset: BinaryLabelDataset) -> BinaryLabelDataset:
         return self.fit(dataset).transform(dataset)
+
+    def to_state(self) -> dict:
+        if not hasattr(self, "median_quantiles_"):
+            raise RuntimeError(
+                "DisparateImpactRemover must be fit before serialization"
+            )
+        return {
+            "params": {
+                "repair_level": self.repair_level,
+                "sensitive_attribute": self.sensitive_attribute,
+                "features_to_repair": self.features_to_repair,
+            },
+            "attribute_": self.attribute_,
+            "group_values_": [float(v) for v in self.group_values_],
+            "repaired_features_": list(self.repaired_features_),
+            "quantile_grid_": self.quantile_grid_,
+            # group values are floats: keep them next to their curves in
+            # lists rather than stringifying them into JSON object keys
+            "group_quantiles_": [
+                [name, [[float(v), curve] for v, curve in sorted(per_group.items())]]
+                for name, per_group in self.group_quantiles_.items()
+            ],
+            "median_quantiles_": [
+                [name, curve] for name, curve in self.median_quantiles_.items()
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DisparateImpactRemover":
+        instance = cls(**state["params"])
+        instance.attribute_ = state["attribute_"]
+        instance.group_values_ = [float(v) for v in state["group_values_"]]
+        instance.repaired_features_ = list(state["repaired_features_"])
+        instance.quantile_grid_ = np.asarray(state["quantile_grid_"], dtype=np.float64)
+        instance.group_quantiles_ = {
+            name: {
+                float(v): np.asarray(curve, dtype=np.float64) for v, curve in pairs
+            }
+            for name, pairs in state["group_quantiles_"]
+        }
+        instance.median_quantiles_ = {
+            name: np.asarray(curve, dtype=np.float64)
+            for name, curve in state["median_quantiles_"]
+        }
+        return instance

@@ -13,9 +13,11 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from ...serialize import serializable
 from ..dataset import BinaryLabelDataset, GroupSpec
 
 
+@serializable
 class Reweighing:
     """Pre-processing intervention that edits instance weights only."""
 
@@ -69,3 +71,27 @@ class Reweighing:
 
     def fit_transform(self, dataset: BinaryLabelDataset) -> BinaryLabelDataset:
         return self.fit(dataset).transform(dataset)
+
+    def to_state(self) -> dict:
+        if not hasattr(self, "factors_"):
+            raise RuntimeError("Reweighing must be fit before serialization")
+        return {
+            "unprivileged_groups": self.unprivileged_groups,
+            "privileged_groups": self.privileged_groups,
+            "factors_": [
+                [bool(privileged), bool(positive), float(value)]
+                for (privileged, positive), value in sorted(self.factors_.items())
+            ],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "Reweighing":
+        instance = cls(
+            unprivileged_groups=state["unprivileged_groups"],
+            privileged_groups=state["privileged_groups"],
+        )
+        instance.factors_ = {
+            (privileged, positive): value
+            for privileged, positive, value in state["factors_"]
+        }
+        return instance

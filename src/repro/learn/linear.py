@@ -14,6 +14,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..serialize import labels_from_state, labels_to_state, serializable
 from .base import (
     BaseEstimator,
     ClassifierMixin,
@@ -46,6 +47,7 @@ def _sigmoid(z: np.ndarray) -> np.ndarray:
     return out
 
 
+@serializable
 class SGDClassifier(BaseEstimator, ClassifierMixin):
     """Linear classifier fit by minibatch stochastic gradient descent.
 
@@ -322,7 +324,25 @@ class SGDClassifier(BaseEstimator, ClassifierMixin):
         totals[totals == 0.0] = 1.0
         return raw / totals
 
+    def to_state(self) -> dict:
+        self._check_fitted("coef_", "intercept_")
+        return {
+            "params": self.get_params(),
+            "classes_": labels_to_state(self.classes_),
+            "coef_": self.coef_,
+            "intercept_": self.intercept_,
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "SGDClassifier":
+        model = cls(**state["params"])
+        model.classes_ = labels_from_state(state["classes_"])
+        model.coef_ = np.asarray(state["coef_"], dtype=np.float64)
+        model.intercept_ = np.asarray(state["intercept_"], dtype=np.float64)
+        return model
+
+
+@serializable
 class LogisticRegressionGD(BaseEstimator, ClassifierMixin):
     """Full-batch gradient-descent logistic regression (binary or OvR).
 
@@ -464,6 +484,23 @@ class LogisticRegressionGD(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    def to_state(self) -> dict:
+        self._check_fitted("coef_", "intercept_")
+        return {
+            "params": self.get_params(),
+            "classes_": labels_to_state(self.classes_),
+            "coef_": self.coef_,
+            "intercept_": self.intercept_,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LogisticRegressionGD":
+        model = cls(**state["params"])
+        model.classes_ = labels_from_state(state["classes_"])
+        model.coef_ = np.asarray(state["coef_"], dtype=np.float64)
+        model.intercept_ = np.asarray(state["intercept_"], dtype=np.float64)
+        return model
 
 
 def _soft_threshold(w: np.ndarray, threshold: float) -> np.ndarray:

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..serialize import labels_from_state, labels_to_state, serializable
 from .base import (
     BaseEstimator,
     ClassifierMixin,
@@ -50,6 +51,7 @@ def nearest_neighbor_indices(
     return out
 
 
+@serializable
 class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
     """Majority-vote classification over the k nearest training points."""
 
@@ -77,3 +79,20 @@ class KNeighborsClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    def to_state(self) -> dict:
+        self._check_fitted("_X")
+        return {
+            "params": {"n_neighbors": self.n_neighbors},
+            "classes_": labels_to_state(self.classes_),
+            "X": self._X,
+            "y_codes": self._y_codes,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "KNeighborsClassifier":
+        model = cls(**state["params"])
+        model.classes_ = labels_from_state(state["classes_"])
+        model._X = np.asarray(state["X"], dtype=np.float64)
+        model._y_codes = np.asarray(state["y_codes"], dtype=np.int64)
+        return model

@@ -15,12 +15,14 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from ..frame.column import Column, remap_table, sorted_position
+from ..serialize import serializable
 from .base import BaseEstimator, TransformerMixin, check_matrix
 
 MISSING_CATEGORY = "<missing>"
 UNSEEN_CATEGORY = "<unseen>"
 
 
+@serializable
 class StandardScaler(BaseEstimator, TransformerMixin):
     """Standardize features to zero mean and unit variance.
 
@@ -64,7 +66,23 @@ class StandardScaler(BaseEstimator, TransformerMixin):
                 f"X has {X.shape[1]} features, scaler was fit on {len(self.mean_)}"
             )
 
+    def to_state(self) -> dict:
+        self._check_fitted("mean_", "scale_")
+        return {
+            "params": {"with_mean": self.with_mean, "with_std": self.with_std},
+            "mean_": self.mean_,
+            "scale_": self.scale_,
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "StandardScaler":
+        scaler = cls(**state["params"])
+        scaler.mean_ = np.asarray(state["mean_"], dtype=np.float64)
+        scaler.scale_ = np.asarray(state["scale_"], dtype=np.float64)
+        return scaler
+
+
+@serializable
 class MinMaxScaler(BaseEstimator, TransformerMixin):
     """Scale features into ``feature_range`` based on the training min/max."""
 
@@ -99,7 +117,25 @@ class MinMaxScaler(BaseEstimator, TransformerMixin):
         X = check_matrix(X)
         return (X - self.min_) / self.scale_
 
+    def to_state(self) -> dict:
+        self._check_fitted("scale_", "min_")
+        return {
+            "params": {"feature_range": list(self.feature_range)},
+            "data_min_": self.data_min_,
+            "data_max_": self.data_max_,
+            "scale_": self.scale_,
+            "min_": self.min_,
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "MinMaxScaler":
+        scaler = cls(feature_range=tuple(state["params"]["feature_range"]))
+        for attr in ("data_min_", "data_max_", "scale_", "min_"):
+            setattr(scaler, attr, np.asarray(state[attr], dtype=np.float64))
+        return scaler
+
+
+@serializable
 class NoOpScaler(BaseEstimator, TransformerMixin):
     """Keep numeric features on their original scale.
 
@@ -125,7 +161,18 @@ class NoOpScaler(BaseEstimator, TransformerMixin):
         self._check_fitted("n_features_")
         return check_matrix(X).copy()
 
+    def to_state(self) -> dict:
+        self._check_fitted("n_features_")
+        return {"n_features_": int(self.n_features_)}
 
+    @classmethod
+    def from_state(cls, state: dict) -> "NoOpScaler":
+        scaler = cls()
+        scaler.n_features_ = int(state["n_features_"])
+        return scaler
+
+
+@serializable
 class OneHotEncoder(BaseEstimator, TransformerMixin):
     """One-hot encode categorical feature columns.
 
@@ -211,7 +258,21 @@ class OneHotEncoder(BaseEstimator, TransformerMixin):
             names.append(f"{feature}={UNSEEN_CATEGORY}")
         return names
 
+    def to_state(self) -> dict:
+        self._check_fitted("categories_")
+        return {
+            "params": {"handle_missing": self.handle_missing},
+            "categories_": [[str(c) for c in cats] for cats in self.categories_],
+        }
 
+    @classmethod
+    def from_state(cls, state: dict) -> "OneHotEncoder":
+        encoder = cls(**state["params"])
+        encoder.categories_ = [list(cats) for cats in state["categories_"]]
+        return encoder
+
+
+@serializable
 class LabelEncoder(BaseEstimator):
     """Map class labels to integers 0..k-1 (sorted lexicographically)."""
 
@@ -242,6 +303,18 @@ class LabelEncoder(BaseEstimator):
         if codes.size and (codes.min() < 0 or codes.max() >= len(self.classes_)):
             raise ValueError("codes outside the fitted label range")
         return self._classes.astype(object)[codes]
+
+    def to_state(self) -> dict:
+        self._check_fitted("classes_")
+        return {"classes_": [str(c) for c in self.classes_]}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "LabelEncoder":
+        encoder = cls()
+        encoder._classes = np.asarray(state["classes_"], dtype=str)
+        encoder.classes_ = encoder._classes.tolist()
+        encoder._index = {c: i for i, c in enumerate(encoder.classes_)}
+        return encoder
 
 
 def _as_label_strings(y) -> np.ndarray:

@@ -19,6 +19,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..serialize import labels_from_state, labels_to_state, serializable
 from .base import (
     BaseEstimator,
     ClassifierMixin,
@@ -50,6 +51,7 @@ class _Node:
         return self.feature is None
 
 
+@serializable
 class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     """CART with gini/entropy impurity and sample-weight support.
 
@@ -234,6 +236,73 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     def predict(self, X) -> np.ndarray:
         proba = self.predict_proba(X)
         return self.classes_[np.argmax(proba, axis=1)]
+
+    # ------------------------------------------------------------------
+    # serialization: the node graph flattened into parallel arrays
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        self._check_fitted("tree_")
+        order: list = []
+        stack = [self.tree_]
+        while stack:
+            node = stack.pop()
+            order.append(node)
+            if not node.is_leaf:
+                stack.append(node.right)
+                stack.append(node.left)
+        position = {id(node): i for i, node in enumerate(order)}
+        n = len(order)
+        feature = np.full(n, -1, dtype=np.int64)
+        threshold = np.full(n, np.nan, dtype=np.float64)
+        left = np.full(n, -1, dtype=np.int64)
+        right = np.full(n, -1, dtype=np.int64)
+        n_samples = np.zeros(n, dtype=np.int64)
+        distribution = np.zeros((n, len(self.classes_)), dtype=np.float64)
+        for i, node in enumerate(order):
+            n_samples[i] = node.n_samples
+            distribution[i] = node.distribution
+            if not node.is_leaf:
+                feature[i] = node.feature
+                threshold[i] = node.threshold
+                left[i] = position[id(node.left)]
+                right[i] = position[id(node.right)]
+        return {
+            "params": self.get_params(),
+            "classes_": labels_to_state(self.classes_),
+            "n_features_": int(self.n_features_),
+            "feature": feature,
+            "threshold": threshold,
+            "left": left,
+            "right": right,
+            "n_samples": n_samples,
+            "distribution": distribution,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecisionTreeClassifier":
+        model = cls(**state["params"])
+        model.classes_ = labels_from_state(state["classes_"])
+        model.n_features_ = int(state["n_features_"])
+        feature = np.asarray(state["feature"], dtype=np.int64)
+        threshold = np.asarray(state["threshold"], dtype=np.float64)
+        left = np.asarray(state["left"], dtype=np.int64)
+        right = np.asarray(state["right"], dtype=np.int64)
+        n_samples = np.asarray(state["n_samples"], dtype=np.int64)
+        distribution = np.asarray(state["distribution"], dtype=np.float64)
+        nodes = [
+            _Node(distribution=distribution[i], n_samples=int(n_samples[i]))
+            for i in range(len(feature))
+        ]
+        for i, node in enumerate(nodes):
+            if feature[i] >= 0:
+                node.feature = int(feature[i])
+                node.threshold = float(threshold[i])
+                node.left = nodes[left[i]]
+                node.right = nodes[right[i]]
+        model.tree_ = nodes[0]
+        model.depth_ = _tree_depth(model.tree_)
+        model.n_leaves_ = _count_leaves(model.tree_)
+        return model
 
 
 def _truncate(node: _Node, max_depth: int) -> _Node:

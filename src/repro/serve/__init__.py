@@ -1,0 +1,44 @@
+"""Model serving: pipeline artifacts, registry, scoring engine, monitoring.
+
+The experiment layer (PRs 1–3) produces fitted pipelines that used to die
+with the process. This subsystem makes them durable and usable:
+
+* :mod:`~repro.serve.artifacts` — versioned, dependency-free JSON+npz
+  serialization of a complete fitted pipeline (no pickle anywhere);
+* :mod:`~repro.serve.registry` — file-backed model registry with
+  promote/tag/rollback, keyed by the plan layer's ``run_key`` fingerprints;
+* :mod:`~repro.serve.scoring` — batch scoring engine over the vectorized
+  featurization paths plus a single-record fast path;
+* :mod:`~repro.serve.monitor` — sliding-window runtime monitoring of
+  accuracy proxies and group fairness metrics with alert thresholds;
+* :mod:`~repro.serve.service` — a stdlib HTTP JSON scoring endpoint.
+"""
+
+from .artifacts import (
+    ARTIFACT_FORMAT,
+    ARTIFACT_VERSION,
+    PipelineArtifact,
+    load_artifact,
+    save_artifact,
+    schema_fingerprint,
+)
+from .monitor import Alert, FairnessMonitor
+from .registry import ModelRegistry
+from .scoring import BatchScores, ScoringEngine
+from .service import ScoringService, make_server
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "ARTIFACT_VERSION",
+    "Alert",
+    "BatchScores",
+    "FairnessMonitor",
+    "ModelRegistry",
+    "PipelineArtifact",
+    "ScoringEngine",
+    "ScoringService",
+    "load_artifact",
+    "make_server",
+    "save_artifact",
+    "schema_fingerprint",
+]

@@ -1,0 +1,231 @@
+"""Sliding-window runtime monitoring of accuracy and group fairness.
+
+A deployed pipeline drifts: incoming traffic shifts, and a model that was
+fair on its validation split can violate the four-fifths rule in
+production. :class:`FairnessMonitor` keeps the last *N* scored records and
+recomputes, over that window, the same group metrics the experiment layer
+reports — disparate impact and the equal-opportunity gap via
+:mod:`repro.fairness.metrics` (the exact code path, not a reimplementation)
+— plus accuracy proxies (selection rate, mean score, and accuracy whenever
+ground-truth labels arrive). Configurable thresholds turn a snapshot into
+:class:`Alert` records the serving layer exposes on its ``/metrics`` route.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..fairness import BinaryLabelDataset, ClassificationMetric
+from ..fairness.metrics import BinaryLabelDatasetMetric
+
+# metric -> (lower bound, upper bound); None disables a side. The defaults
+# encode the four-fifths rule on disparate impact and a ±0.1 band on the
+# equal-opportunity gap (the bounds the paper's intervention studies target).
+DEFAULT_THRESHOLDS: Dict[str, Tuple[Optional[float], Optional[float]]] = {
+    "disparate_impact": (0.8, 1.25),
+    "equal_opportunity_difference": (-0.1, 0.1),
+    "statistical_parity_difference": (-0.1, 0.1),
+}
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One threshold violation over the current window."""
+
+    metric: str
+    value: float
+    lower: Optional[float]
+    upper: Optional[float]
+    window: int
+
+    def describe(self) -> str:
+        bounds = f"[{self.lower}, {self.upper}]"
+        return (
+            f"{self.metric}={self.value:.4f} outside {bounds} "
+            f"over the last {self.window} records"
+        )
+
+
+class FairnessMonitor:
+    """Thread-safe sliding window over scored records."""
+
+    def __init__(
+        self,
+        protected_attribute: str,
+        window_size: int = 1000,
+        thresholds: Optional[Dict[str, Tuple[Optional[float], Optional[float]]]] = None,
+        min_observations: int = 50,
+        favorable_label: float = 1.0,
+        unfavorable_label: float = 0.0,
+    ):
+        if window_size < 1:
+            raise ValueError("window_size must be >= 1")
+        self.protected_attribute = protected_attribute
+        self.window_size = int(window_size)
+        self.thresholds = dict(
+            DEFAULT_THRESHOLDS if thresholds is None else thresholds
+        )
+        self.min_observations = int(min_observations)
+        self.favorable_label = float(favorable_label)
+        self.unfavorable_label = float(unfavorable_label)
+        self._window: deque = deque(maxlen=self.window_size)
+        self._total_observed = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # feeding
+    # ------------------------------------------------------------------
+    def observe(
+        self,
+        group: float,
+        prediction: float,
+        score: Optional[float] = None,
+        true_label: Optional[float] = None,
+    ) -> None:
+        """Record one scored instance (group = protected value, 1.0/0.0)."""
+        with self._lock:
+            self._window.append(
+                (float(group), float(prediction), score, true_label)
+            )
+            self._total_observed += 1
+
+    def observe_batch(
+        self,
+        groups: np.ndarray,
+        predictions: np.ndarray,
+        scores: Optional[np.ndarray] = None,
+        true_labels: Optional[np.ndarray] = None,
+    ) -> None:
+        """Record a scored batch; a NaN in ``true_labels`` means *unlabeled*."""
+        groups = np.asarray(groups, dtype=np.float64).ravel()
+        predictions = np.asarray(predictions, dtype=np.float64).ravel()
+        total = len(groups)
+        # rows beyond the window would be evicted immediately; skip them
+        start = max(0, total - self.window_size)
+        with self._lock:
+            for i in range(start, total):
+                truth = None if true_labels is None else float(true_labels[i])
+                if truth is not None and truth != truth:
+                    truth = None
+                self._window.append(
+                    (
+                        float(groups[i]),
+                        float(predictions[i]),
+                        None if scores is None else float(scores[i]),
+                        truth,
+                    )
+                )
+            self._total_observed += total
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, float]:
+        """Windowed metrics, via the experiment layer's own metric classes."""
+        with self._lock:
+            rows = list(self._window)
+            total = self._total_observed
+        out: Dict[str, float] = {
+            "window": float(len(rows)),
+            "total_observed": float(total),
+        }
+        if not rows:
+            return out
+        groups = np.asarray([r[0] for r in rows])
+        predictions = np.asarray([r[1] for r in rows])
+        scores = [r[2] for r in rows]
+        truths = [r[3] for r in rows]
+
+        pred_data = self._dataset(predictions, groups)
+        both_groups = bool((groups == 1.0).any() and (groups == 0.0).any())
+        out["selection_rate"] = float(
+            (predictions == self.favorable_label).mean()
+        )
+        known_scores = [s for s in scores if s is not None]
+        if known_scores:
+            out["mean_score"] = float(np.mean(known_scores))
+        if both_groups:
+            dataset_metric = BinaryLabelDatasetMetric(
+                pred_data,
+                unprivileged_groups=[{self.protected_attribute: 0.0}],
+                privileged_groups=[{self.protected_attribute: 1.0}],
+            )
+            out["disparate_impact"] = dataset_metric.disparate_impact()
+            out["statistical_parity_difference"] = (
+                dataset_metric.statistical_parity_difference()
+            )
+
+        labeled = np.asarray([t is not None for t in truths])
+        out["labeled_fraction"] = float(labeled.mean())
+        if labeled.any():
+            true_labels = np.asarray(
+                [t for t in truths if t is not None], dtype=np.float64
+            )
+            sub_groups = groups[labeled]
+            sub_predictions = predictions[labeled]
+            truth_data = self._dataset(true_labels, sub_groups)
+            pred_sub = self._dataset(sub_predictions, sub_groups)
+            out["accuracy"] = float((sub_predictions == true_labels).mean())
+            if (sub_groups == 1.0).any() and (sub_groups == 0.0).any():
+                metric = ClassificationMetric(
+                    truth_data,
+                    pred_sub,
+                    unprivileged_groups=[{self.protected_attribute: 0.0}],
+                    privileged_groups=[{self.protected_attribute: 1.0}],
+                )
+                out["equal_opportunity_difference"] = (
+                    metric.equal_opportunity_difference()
+                )
+                out["average_odds_difference"] = metric.average_odds_difference()
+        return out
+
+    def check(self, snapshot: Optional[Dict[str, float]] = None) -> List[Alert]:
+        """Threshold violations over the current window (empty = healthy).
+
+        Pass a precomputed :meth:`snapshot` to avoid rebuilding the window
+        metrics (the /metrics route reports both from one snapshot).
+        """
+        snap = self.snapshot() if snapshot is None else snapshot
+        window = int(snap.get("window", 0))
+        if window < self.min_observations:
+            return []
+        alerts: List[Alert] = []
+        for metric, (lower, upper) in self.thresholds.items():
+            value = snap.get(metric)
+            if value is None or np.isnan(value):
+                continue
+            if (lower is not None and value < lower) or (
+                upper is not None and value > upper
+            ):
+                alerts.append(
+                    Alert(
+                        metric=metric,
+                        value=float(value),
+                        lower=lower,
+                        upper=upper,
+                        window=window,
+                    )
+                )
+        return alerts
+
+    def reset(self) -> None:
+        with self._lock:
+            self._window.clear()
+
+    # ------------------------------------------------------------------
+    def _dataset(self, labels: np.ndarray, groups: np.ndarray) -> BinaryLabelDataset:
+        """Wrap window columns as a (feature-less) BinaryLabelDataset."""
+        n = len(labels)
+        return BinaryLabelDataset(
+            features=np.zeros((n, 0)),
+            labels=labels,
+            protected_attributes=groups.reshape(-1, 1),
+            protected_attribute_names=[self.protected_attribute],
+            favorable_label=self.favorable_label,
+            unfavorable_label=self.unfavorable_label,
+        )

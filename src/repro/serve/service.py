@@ -1,0 +1,194 @@
+"""Stdlib HTTP scoring endpoint (no framework, no new dependencies).
+
+Routes::
+
+    GET  /healthz   liveness + model identity
+    GET  /metrics   request counters, latency stats, monitor snapshot+alerts
+    POST /score     {"records": [{...}, ...]} or a single record object
+                    -> {"labels": [...], "scores": [...], ...}
+
+Built on :class:`http.server.ThreadingHTTPServer`: one thread per
+connection, which the read-only numpy scoring path handles safely; the
+monitor guards its window with a lock. Single records go through the
+engine's frame-free fast path, batches through the vectorized frame path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..frame import DataFrame
+from .monitor import FairnessMonitor
+from .scoring import ScoringEngine
+
+MAX_BODY_BYTES = 16 * 1024 * 1024
+
+
+class ScoringService:
+    """Request-handling core, independent of the HTTP plumbing (testable)."""
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        model_id: str = "unknown",
+        monitor: Optional[FairnessMonitor] = None,
+    ):
+        self.engine = engine
+        self.model_id = model_id
+        if monitor is not None:
+            self.engine.monitor = monitor
+        self.monitor = self.engine.monitor
+        self._lock = threading.Lock()
+        self._requests = 0
+        self._records_scored = 0
+        self._errors = 0
+        self._latencies: List[float] = []
+        self._started_at = time.time()
+
+    # ------------------------------------------------------------------
+    def health(self) -> Dict[str, Any]:
+        spec = self.engine.pipeline.spec
+        return {
+            "status": "ok",
+            "model_id": self.model_id,
+            "dataset": spec.name,
+            "protected_attribute": self.engine.pipeline.protected_attribute,
+            "schema_fingerprint": self.engine.pipeline.schema_fingerprint(),
+            "uptime_seconds": time.time() - self._started_at,
+        }
+
+    def metrics(self) -> Dict[str, Any]:
+        with self._lock:
+            latencies = sorted(self._latencies[-1000:])
+            out: Dict[str, Any] = {
+                "requests": self._requests,
+                "records_scored": self._records_scored,
+                "errors": self._errors,
+            }
+        if latencies:
+            out["latency_ms"] = {
+                "p50": _percentile(latencies, 0.50),
+                "p95": _percentile(latencies, 0.95),
+                "max": latencies[-1],
+            }
+        if self.monitor is not None:
+            snapshot = self.monitor.snapshot()
+            out["monitor"] = snapshot
+            out["alerts"] = [
+                alert.describe() for alert in self.monitor.check(snapshot)
+            ]
+        return out
+
+    def score(self, payload: Any) -> Dict[str, Any]:
+        """Score a parsed JSON payload (single record or batch)."""
+        started = time.time()
+        try:
+            if isinstance(payload, dict) and "records" in payload:
+                records = payload["records"]
+                if not isinstance(records, list):
+                    raise ValueError('"records" must be a list of objects')
+                result = self._score_batch(records)
+            elif isinstance(payload, dict):
+                result = self.engine.score_record(payload)
+                result = {"records_scored": 1, **result}
+            else:
+                raise ValueError(
+                    "payload must be a record object or {'records': [...]}"
+                )
+        except Exception:
+            with self._lock:
+                self._errors += 1
+            raise
+        finally:
+            elapsed = (time.time() - started) * 1000.0
+            with self._lock:
+                self._requests += 1
+                self._latencies.append(elapsed)
+                if len(self._latencies) > 10000:
+                    del self._latencies[: len(self._latencies) - 1000]
+        with self._lock:
+            self._records_scored += result.get("records_scored", 0)
+        return result
+
+    def _score_batch(self, records: List[Dict[str, Any]]) -> Dict[str, Any]:
+        if not records:
+            return {"records_scored": 0, "labels": [], "scores": []}
+        spec = self.engine.pipeline.spec
+        kinds = spec.column_kinds()
+        names = [n for n in kinds if any(n in r for r in records)]
+        data = {name: [r.get(name) for r in records] for name in names}
+        frame = DataFrame.from_dict(
+            data, kinds={name: kinds[name] for name in names}
+        )
+        batch = self.engine.score_frame(frame)
+        out: Dict[str, Any] = {
+            "records_scored": batch.num_scored,
+            "labels": [float(v) for v in batch.labels],
+            "scores": None
+            if batch.scores is None
+            else [float(v) for v in batch.scores],
+        }
+        if not batch.row_mask.all():
+            out["scored_rows"] = [int(i) for i in batch.row_mask.nonzero()[0]]
+        return out
+
+
+# ----------------------------------------------------------------------
+# HTTP plumbing
+# ----------------------------------------------------------------------
+def make_server(
+    service: ScoringService, host: str = "127.0.0.1", port: int = 8080
+) -> ThreadingHTTPServer:
+    """Build a ready-to-serve ThreadingHTTPServer bound to the service."""
+
+    class Handler(BaseHTTPRequestHandler):
+        # silence per-request stderr logging; the service keeps counters
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
+            body = json.dumps(payload, allow_nan=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_GET(self):  # noqa: N802
+            if self.path == "/healthz":
+                self._respond(200, service.health())
+            elif self.path == "/metrics":
+                self._respond(200, service.metrics())
+            else:
+                self._respond(404, {"error": f"no route {self.path}"})
+
+        def do_POST(self):  # noqa: N802
+            if self.path != "/score":
+                self._respond(404, {"error": f"no route {self.path}"})
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length <= 0 or length > MAX_BODY_BYTES:
+                self._respond(400, {"error": "missing or oversized request body"})
+                return
+            try:
+                payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            except (ValueError, UnicodeDecodeError) as error:
+                self._respond(400, {"error": f"invalid JSON: {error}"})
+                return
+            try:
+                self._respond(200, service.score(payload))
+            except (KeyError, ValueError, TypeError) as error:
+                self._respond(422, {"error": str(error)})
+            except Exception as error:  # pragma: no cover - defensive
+                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+
+    return ThreadingHTTPServer((host, port), Handler)
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]

@@ -1,0 +1,130 @@
+"""Model registry: publish, resolve, promote/tag/rollback, results linkage."""
+
+import numpy as np
+import pytest
+
+from repro.core import DecisionTree, Experiment, LogisticRegression, ResultsStore
+from repro.datasets import load_dataset
+from repro.serve import ModelRegistry
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    frame, spec = load_dataset("germancredit")
+    runs = []
+    for seed, learner in ((1, DecisionTree(tuned=False)), (2, LogisticRegression(tuned=False))):
+        experiment = Experiment(
+            frame=frame, spec=spec, random_seed=seed, learner=learner
+        )
+        prepared = experiment.prepare()
+        trained = experiment.train_candidates(prepared)
+        result = experiment.evaluate(prepared, trained)
+        result.run_key = f"runkey-{seed}"
+        runs.append((experiment, prepared, trained, result))
+    return runs
+
+
+@pytest.fixture()
+def registry(tmp_path, two_runs):
+    registry = ModelRegistry(str(tmp_path / "registry"))
+    for experiment, prepared, trained, result in two_runs:
+        experiment.export_pipeline(prepared, trained, result, registry=registry)
+    return registry
+
+
+class TestPublish:
+    def test_model_id_defaults_to_run_key(self, registry):
+        ids = {record["model_id"] for record in registry.list_models()}
+        assert ids == {"runkey-1", "runkey-2"}
+
+    def test_metrics_linked_from_result(self, registry):
+        record = registry.get_record("runkey-1")
+        assert "overall__accuracy" in record["metrics"]["test"]
+        assert "overall__accuracy" in record["metrics"]["validation"]
+        assert record["run_key"] == "runkey-1"
+
+    def test_duplicate_publish_needs_overwrite(self, registry, two_runs):
+        experiment, prepared, trained, result = two_runs[0]
+        with pytest.raises(ValueError, match="already registered"):
+            experiment.export_pipeline(
+                prepared, trained, result, registry=registry, overwrite=False
+            )
+        experiment.export_pipeline(prepared, trained, result, registry=registry)
+
+    def test_invalid_model_id_rejected(self, registry, two_runs):
+        experiment, prepared, trained, result = two_runs[0]
+        pipeline = experiment.fitted_pipeline(prepared, trained, result.best_index)
+        with pytest.raises(ValueError, match="invalid model id"):
+            registry.publish(pipeline, model_id="../escape")
+
+    def test_content_hash_when_no_run_key(self, tmp_path, two_runs):
+        experiment, prepared, trained, result = two_runs[0]
+        registry = ModelRegistry(str(tmp_path / "fresh"))
+        pipeline = experiment.fitted_pipeline(prepared, trained, result.best_index)
+        record = registry.publish(pipeline)
+        assert len(record["model_id"]) == 20
+
+    def test_experiment_run_export_hook(self, tmp_path):
+        frame, spec = load_dataset("germancredit")
+        registry = ModelRegistry(str(tmp_path / "hook"))
+        experiment = Experiment(
+            frame=frame, spec=spec, random_seed=8, learner=DecisionTree(tuned=False)
+        )
+        result = experiment.run(export=registry, export_tags=["production"])
+        record = registry.get_record("production")
+        assert record["metrics"]["test"] == result.test_metrics
+        pipeline = registry.load_pipeline("production")
+        assert pipeline.metadata["best_learner"] == result.best_candidate.learner
+
+    def test_read_only_open_requires_existing_registry(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no model registry"):
+            ModelRegistry(str(tmp_path / "nope"), create=False)
+
+
+class TestTags:
+    def test_promote_resolve_rollback(self, registry):
+        registry.promote("runkey-1", tag="production")
+        registry.promote("runkey-2", tag="production")
+        assert registry.resolve("production") == "runkey-2"
+        assert registry.tag_history("production") == ["runkey-1", "runkey-2"]
+        restored = registry.rollback("production")
+        assert restored == "runkey-1"
+        assert registry.resolve("production") == "runkey-1"
+
+    def test_rollback_without_history_fails(self, registry):
+        with pytest.raises(KeyError):
+            registry.rollback("nonexistent")
+        registry.promote("runkey-1", tag="single")
+        with pytest.raises(ValueError, match="no previous model"):
+            registry.rollback("single")
+
+    def test_promote_unknown_model_fails(self, registry):
+        with pytest.raises(KeyError):
+            registry.promote("nope", tag="production")
+
+    def test_repeat_promotion_is_idempotent(self, registry):
+        registry.promote("runkey-1", tag="t")
+        registry.promote("runkey-1", tag="t")
+        assert registry.tag_history("t") == ["runkey-1"]
+
+    def test_resolve_unknown_reference(self, registry):
+        with pytest.raises(KeyError, match="neither a model id nor a tag"):
+            registry.resolve("ghost")
+
+
+class TestReload:
+    def test_fresh_registry_object_reloads_pipeline(self, registry, two_runs):
+        _, prepared, trained, result = two_runs[0]
+        fresh = ModelRegistry(registry.root)
+        pipeline = fresh.load_pipeline("runkey-1")
+        model, post = trained.models[result.best_index]
+        X = prepared.test_data_eval.features
+        assert np.array_equal(pipeline.model.predict(X), model.predict(X))
+
+    def test_results_for_links_to_store(self, registry, two_runs, tmp_path):
+        _, _, _, result = two_runs[0]
+        store = ResultsStore(str(tmp_path / "results.jsonl"))
+        store.extend([result])
+        linked = registry.results_for("runkey-1", store)
+        assert len(linked) == 1
+        assert linked[0].test_metrics == result.test_metrics
