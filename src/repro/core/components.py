@@ -13,6 +13,8 @@ import abc
 import inspect
 from typing import Dict, Optional
 
+import numpy as np
+
 from ..fairness import BinaryLabelDataset
 from ..frame import DataFrame
 
@@ -86,6 +88,17 @@ class MissingValueHandler(abc.ABC):
     def drops_rows(self) -> bool:
         """True when the strategy removes incomplete records."""
         return False
+
+    def kept_mask(self, frame: DataFrame):
+        """Boolean mask over ``frame`` rows that :meth:`handle_missing` keeps.
+
+        This is the handler's *own* drop decision, exposed so callers that
+        need to map a handled frame's rows back onto input positions (the
+        scoring engine's ``row_mask``) never re-derive the criterion — a
+        handler that drops on different columns must override this together
+        with ``handle_missing``. Row-preserving handlers keep everything.
+        """
+        return np.ones(frame.num_rows, dtype=bool)
 
     def name(self) -> str:
         return type(self).__name__

@@ -70,6 +70,31 @@ class _FittedModel:
         column = int(np.nonzero(classes == self._favorable)[0][0])
         return scores[:, column]
 
+    # models whose predict() is literally classes_[argmax(predict_proba)],
+    # so one proba pass reproduces predict byte for byte; linear models
+    # threshold the decision function instead (>= 0 keeps the favorable
+    # class on a tied margin, argmax would flip it) and stay on two calls
+    _ARGMAX_OF_PROBA = (DecisionTreeClassifier, KNeighborsClassifier)
+
+    def predict_with_scores(self, features: np.ndarray):
+        """Labels and scores from one model pass where that is exact.
+
+        ``predict`` followed by ``predict_scores`` runs the underlying
+        model twice (a decision tree traverses its nodes per call); when
+        both are wanted — every scoring-service request — a single
+        ``predict_proba`` serves both for argmax-of-proba models.
+        """
+        if isinstance(self._model, self._ARGMAX_OF_PROBA):
+            proba = self._model.predict_proba(features)
+            classes = np.asarray(self._model.classes_, dtype=np.float64)
+            column = int(np.nonzero(classes == self._favorable)[0][0])
+            labels = np.asarray(
+                self._model.classes_[np.argmax(proba, axis=1)],
+                dtype=np.float64,
+            )
+            return labels, proba[:, column]
+        return self.predict(features), self.predict_scores(features)
+
     @property
     def inner(self):
         return self._model

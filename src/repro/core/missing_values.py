@@ -38,7 +38,12 @@ class CompleteCaseAnalysis(MissingValueHandler):
         return self
 
     def handle_missing(self, frame: DataFrame) -> DataFrame:
-        return frame.dropna(self._feature_columns)
+        # keep handle_missing and kept_mask on one decision so row masks
+        # derived from kept_mask always align with the handled frame
+        return frame.mask(self.kept_mask(frame))
+
+    def kept_mask(self, frame: DataFrame) -> np.ndarray:
+        return ~frame.missing_mask(self._feature_columns)
 
     @property
     def drops_rows(self) -> bool:

@@ -10,8 +10,12 @@ with the process. This subsystem makes them durable and usable:
 * :mod:`~repro.serve.scoring` — batch scoring engine over the vectorized
   featurization paths plus a single-record fast path;
 * :mod:`~repro.serve.monitor` — sliding-window runtime monitoring of
-  accuracy proxies and group fairness metrics with alert thresholds;
-* :mod:`~repro.serve.service` — a stdlib HTTP JSON scoring endpoint.
+  accuracy proxies and group fairness metrics with alert thresholds,
+  backed by preallocated NumPy ring buffers;
+* :mod:`~repro.serve.batching` — micro-batching core that coalesces
+  concurrent single-record requests into vectorized scoring passes;
+* :mod:`~repro.serve.service` — a stdlib HTTP JSON scoring endpoint
+  (keep-alive, strict JSON, bounded-queue load shedding).
 """
 
 from .artifacts import (
@@ -22,10 +26,11 @@ from .artifacts import (
     save_artifact,
     schema_fingerprint,
 )
+from .batching import MicroBatcher, ServiceOverloaded
 from .monitor import Alert, FairnessMonitor
 from .registry import ModelRegistry
-from .scoring import BatchScores, ScoringEngine
-from .service import ScoringService, make_server
+from .scoring import BatchScores, ScoringEngine, records_to_frame
+from .service import ScoringService, dumps_strict, json_safe, make_server
 
 __all__ = [
     "ARTIFACT_FORMAT",
@@ -33,12 +38,17 @@ __all__ = [
     "Alert",
     "BatchScores",
     "FairnessMonitor",
+    "MicroBatcher",
     "ModelRegistry",
     "PipelineArtifact",
     "ScoringEngine",
     "ScoringService",
+    "ServiceOverloaded",
+    "dumps_strict",
+    "json_safe",
     "load_artifact",
     "make_server",
+    "records_to_frame",
     "save_artifact",
     "schema_fingerprint",
 ]

@@ -1,0 +1,211 @@
+"""Micro-batching scoring core: coalesce concurrent point queries.
+
+The HTTP layer is thread-per-connection, so a burst of single-record
+``/score`` requests lands as many concurrent ``score_record`` calls — each
+paying the full per-call overhead of featurizing, predicting, and
+monitoring one row. :class:`MicroBatcher` replaces that with a bounded
+request queue and one dispatcher thread that coalesces whatever requests
+are waiting (up to ``max_batch``, waiting at most ``max_wait_ms`` for
+stragglers) into a single vectorized
+:meth:`~repro.serve.scoring.ScoringEngine.score_frame` call. Each request
+carries a :class:`concurrent.futures.Future`; handler threads block on
+their own future and get either the same response dict ``score_record``
+would have produced or a typed error.
+
+Failure semantics:
+
+* a full queue raises :class:`ServiceOverloaded` at submit time (the HTTP
+  layer maps it to 503), so saturation produces fast, explicit rejections
+  instead of unbounded latency;
+* a record the pipeline's handler drops (complete-case analysis) gets the
+  same :class:`ValueError` the single-record path raises;
+* if the coalesced frame itself fails to score, the batch falls back to
+  per-record ``score_record`` calls so each request receives its *own*
+  typed error — one malformed record cannot poison its batch-mates.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .scoring import DROPPED_RECORD_ERROR, ScoringEngine, records_to_frame
+
+
+class ServiceOverloaded(RuntimeError):
+    """The request queue is full; the caller should shed load (HTTP 503)."""
+
+
+class _Request:
+    __slots__ = ("record", "future")
+
+    def __init__(self, record: Dict[str, Any]):
+        self.record = record
+        self.future: Future = Future()
+
+
+class MicroBatcher:
+    """Bounded queue + dispatcher thread feeding one scoring engine."""
+
+    def __init__(
+        self,
+        engine: ScoringEngine,
+        max_batch: int = 32,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be >= 0")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait = float(max_wait_ms) / 1000.0
+        self.max_queue = int(max_queue)
+        self._queue: List[_Request] = []
+        self._cond = threading.Condition()
+        self._closed = False
+        self._batches_dispatched = 0
+        self._coalesced_records = 0
+        self._thread = threading.Thread(
+            target=self._run, name="repro-microbatcher", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # client side
+    # ------------------------------------------------------------------
+    def submit(self, record: Dict[str, Any]) -> Future:
+        """Enqueue one record; the future resolves to a response dict."""
+        request = _Request(record)
+        with self._cond:
+            if self._closed:
+                raise RuntimeError("MicroBatcher is closed")
+            if len(self._queue) >= self.max_queue:
+                raise ServiceOverloaded(
+                    f"scoring queue full ({self.max_queue} pending requests)"
+                )
+            self._queue.append(request)
+            self._cond.notify()
+        return request.future
+
+    def score(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Submit and wait: the blocking call handler threads use."""
+        return self.submit(record).result()
+
+    def stats(self) -> Dict[str, float]:
+        with self._cond:
+            dispatched = self._batches_dispatched
+            coalesced = self._coalesced_records
+            depth = len(self._queue)
+        return {
+            "batches_dispatched": float(dispatched),
+            "records_batched": float(coalesced),
+            "mean_batch_size": (
+                coalesced / dispatched if dispatched else 0.0
+            ),
+            "queue_depth": float(depth),
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher after draining already-queued requests."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            self._cond.notify_all()
+        self._thread.join(timeout=10.0)
+
+    # ------------------------------------------------------------------
+    # dispatcher side
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            batch = self._collect()
+            if batch is None:
+                return
+            self._dispatch(batch)
+
+    def _collect(self) -> Optional[List[_Request]]:
+        """Block for the first request, then coalesce whatever is queued.
+
+        Returns ``None`` only when closed and drained. The policy is
+        work-conserving: everything already queued (up to ``max_batch``)
+        dispatches immediately — under sustained load requests pile up
+        *during* the previous scoring pass, so batches form naturally with
+        zero added latency. Only a lone request waits, at most
+        ``max_wait``, for a first batch-mate; the moment one arrives the
+        queue is drained again and the batch dispatches.
+        """
+        with self._cond:
+            while not self._queue:
+                if self._closed:
+                    return None
+                self._cond.wait()
+            batch = self._take(self.max_batch)
+            if len(batch) > 1 or self.max_wait <= 0:
+                return batch
+            deadline = time.monotonic() + self.max_wait
+            while not self._queue and not self._closed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return batch
+                self._cond.wait(remaining)
+            batch.extend(self._take(self.max_batch - len(batch)))
+            return batch
+
+    def _take(self, limit: int) -> List[_Request]:
+        taken = self._queue[:limit]
+        del self._queue[:limit]
+        return taken
+
+    def _dispatch(self, batch: List[_Request]) -> None:
+        with self._cond:
+            self._batches_dispatched += 1
+            self._coalesced_records += len(batch)
+        if len(batch) == 1:
+            self._score_individually(batch)
+            return
+        try:
+            results = self._score_coalesced([r.record for r in batch])
+        except Exception:
+            # frame-level failure: re-score one by one so every request
+            # gets its own typed error instead of a shared frame error
+            self._score_individually(batch)
+            return
+        for request, result in zip(batch, results):
+            if isinstance(result, Exception):
+                request.future.set_exception(result)
+            else:
+                request.future.set_result(result)
+
+    def _score_individually(self, batch: List[_Request]) -> None:
+        for request in batch:
+            try:
+                request.future.set_result(self.engine.score_record(request.record))
+            except Exception as error:
+                request.future.set_exception(error)
+
+    def _score_coalesced(self, records: List[Dict[str, Any]]) -> List[Any]:
+        """One vectorized scoring pass; per-record results or typed errors."""
+        engine = self.engine
+        frame = records_to_frame(engine.pipeline.spec, records)
+        scored = engine.score_frame(frame)
+        mask = scored.row_mask
+        positions = np.cumsum(mask) - 1
+        results: List[Any] = []
+        for i, kept in enumerate(mask):
+            if not kept:
+                results.append(ValueError(DROPPED_RECORD_ERROR))
+                continue
+            j = int(positions[i])
+            label = float(scored.labels[j])
+            score = None if scored.scores is None else float(scored.scores[j])
+            results.append(engine.record_result(label, score))
+        return results

@@ -21,6 +21,11 @@ from ..frame import DataFrame
 from ..learn import OneHotEncoder
 from .artifacts import PipelineArtifact
 
+DROPPED_RECORD_ERROR = (
+    "record has missing values and the pipeline's handler drops "
+    "incomplete records"
+)
+
 
 @dataclass
 class BatchScores:
@@ -67,10 +72,18 @@ class ScoringEngine:
                 f"the {spec.name} pipeline"
             )
         handled = pipeline.handler.handle_missing(frame)
-        if getattr(pipeline.handler, "drops_rows", False):
-            row_mask = ~frame.missing_mask(spec.feature_columns)
-        else:
-            row_mask = np.ones(frame.num_rows, dtype=bool)
+        # the mask comes from the handler's own drop decision (kept_mask),
+        # never from a re-derivation of its criterion: a handler that drops
+        # on other columns (say, the protected attribute) would otherwise
+        # yield a mask whose popcount disagrees with the scored rows
+        row_mask = np.asarray(pipeline.handler.kept_mask(frame), dtype=bool)
+        if int(row_mask.sum()) != handled.num_rows:
+            raise RuntimeError(
+                f"handler {pipeline.handler.name()} kept_mask marks "
+                f"{int(row_mask.sum())} rows but handle_missing returned "
+                f"{handled.num_rows}; the handler must override kept_mask "
+                "to match its own drop decision"
+            )
         if handled.num_rows == 0:
             # every row was incomplete and the handler drops such rows
             empty = np.empty(0, dtype=np.float64)
@@ -99,8 +112,7 @@ class ScoringEngine:
             label_known = None
             fully_labeled = False
         eval_data = pipeline.pre_processor.transform_eval(data)
-        labels = pipeline.model.predict(eval_data.features)
-        scores = pipeline.model.predict_scores(eval_data.features)
+        labels, scores = _predict_both(pipeline.model, eval_data.features)
         if scores is None and not isinstance(pipeline.post_processor, NoIntervention):
             raise ValueError(
                 f"post-processor {pipeline.post_processor.name()} requires "
@@ -171,13 +183,10 @@ class ScoringEngine:
         if scorer.needs_frame_fallback(record):
             batch = self.score_frame(_one_row_frame(self.pipeline.spec, record))
             if batch.num_scored == 0:
-                raise ValueError(
-                    "record has missing values and the pipeline's handler "
-                    "drops incomplete records"
-                )
+                raise ValueError(DROPPED_RECORD_ERROR)
             label = float(batch.labels[0])
             score = None if batch.scores is None else float(batch.scores[0])
-            return self._record_result(label, score)
+            return self.record_result(label, score)
 
         features = scorer.featurize(record)
         protected = scorer.protected_value(record)
@@ -190,8 +199,7 @@ class ScoringEngine:
             feature_names=pipeline.featurizer.feature_names_,
         )
         eval_data = pipeline.pre_processor.transform_eval(data)
-        labels = pipeline.model.predict(eval_data.features)
-        scores = pipeline.model.predict_scores(eval_data.features)
+        labels, scores = _predict_both(pipeline.model, eval_data.features)
         predictions = data.with_predictions(labels=labels, scores=scores)
         predictions = pipeline.post_processor.apply(predictions)
         label = float(predictions.labels[0])
@@ -206,9 +214,10 @@ class ScoringEngine:
                 score=score,
                 true_label=true_label,
             )
-        return self._record_result(label, score)
+        return self.record_result(label, score)
 
-    def _record_result(self, label: float, score: Optional[float]) -> Dict[str, Any]:
+    def record_result(self, label: float, score: Optional[float]) -> Dict[str, Any]:
+        """The single-record response payload for a scored (label, score)."""
         spec = self.pipeline.spec
         return {
             "label": label,
@@ -310,6 +319,13 @@ class _RowScorer:
         return 1.0 if str(value) in self.privileged_values else 0.0
 
 
+def _predict_both(model, features: np.ndarray):
+    """Labels and scores, in one model pass when the model supports it."""
+    if hasattr(model, "predict_with_scores"):
+        return model.predict_with_scores(features)
+    return model.predict(features), model.predict_scores(features)
+
+
 def _is_missing(value) -> bool:
     if value is None:
         return True
@@ -335,3 +351,16 @@ def _one_row_frame(spec, record: Dict[str, Any]) -> DataFrame:
         value = record.get(name)
         data[name] = [None if _is_missing(value) else value]
     return DataFrame.from_dict(data, kinds={k: v for k, v in kinds.items() if k in data})
+
+
+def records_to_frame(spec, records: List[Dict[str, Any]]) -> DataFrame:
+    """Coalesce record dicts into one raw-schema frame (spec column kinds).
+
+    A column is materialized when *any* record carries it; records that lack
+    it contribute missing values, which is exactly what the pipeline's
+    missing-value handler is fit to deal with.
+    """
+    kinds = spec.column_kinds()
+    names = [n for n in kinds if any(n in r for r in records)]
+    data = {name: [r.get(name) for r in records] for name in names}
+    return DataFrame.from_dict(data, kinds={name: kinds[name] for name in names})

@@ -7,47 +7,112 @@ Routes::
     POST /score     {"records": [{...}, ...]} or a single record object
                     -> {"labels": [...], "scores": [...], ...}
 
-Built on :class:`http.server.ThreadingHTTPServer`: one thread per
-connection, which the read-only numpy scoring path handles safely; the
-monitor guards its window with a lock. Single records go through the
-engine's frame-free fast path, batches through the vectorized frame path.
+Built on :class:`http.server.ThreadingHTTPServer` with keep-alive
+(HTTP/1.1), buffered responses, and ``TCP_NODELAY`` — without those, the
+unbuffered header writes of the stdlib handler interact with Nagle's
+algorithm and delayed ACKs to stall every persistent-connection response
+by tens of milliseconds. Connection threads only parse HTTP and wait;
+single-record scoring is coalesced by a :class:`~repro.serve.batching.
+MicroBatcher` into vectorized ``score_frame`` calls (set ``max_batch=1``
+to score inline, thread-per-request style). Batch payloads are already
+vectorized and go straight to the engine.
+
+All responses are strict JSON: non-finite floats (NaN/Infinity) are
+encoded as ``null``, never as the bare ``NaN`` tokens ``json.dumps``
+emits by default, which strict parsers (``JSON.parse``, most non-Python
+clients) reject.
 """
 
 from __future__ import annotations
 
 import json
+import math
+import socket
 import threading
 import time
-from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Any, Dict, List, Optional, Tuple
+from http.server import ThreadingHTTPServer
+from socketserver import StreamRequestHandler
+from typing import Any, Dict, List, Optional
 
-from ..frame import DataFrame
+from .batching import MicroBatcher, ServiceOverloaded
 from .monitor import FairnessMonitor
-from .scoring import ScoringEngine
+from .scoring import ScoringEngine, records_to_frame
 
 MAX_BODY_BYTES = 16 * 1024 * 1024
 
 
+def json_safe(value: Any) -> Any:
+    """``value`` with every non-finite float replaced by ``None``.
+
+    ``json.dumps(..., allow_nan=True)`` emits bare ``NaN``/``Infinity``
+    tokens, which are not JSON; a monitor window with an undefined metric
+    (say, disparate impact with an empty privileged group) must not make
+    the whole /metrics response unparseable to strict clients.
+    """
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {key: json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [json_safe(item) for item in value]
+    return value
+
+
+def dumps_strict(payload: Any) -> bytes:
+    """Serialize to strict (RFC 8259) JSON bytes; non-finite floats -> null.
+
+    Non-finite values are rare, so the common case serializes directly
+    (``allow_nan=False`` raises on them) and only the failure pays for the
+    recursive :func:`json_safe` rebuild.
+    """
+    try:
+        return json.dumps(payload, allow_nan=False).encode("utf-8")
+    except ValueError:
+        return json.dumps(json_safe(payload), allow_nan=False).encode("utf-8")
+
+
 class ScoringService:
-    """Request-handling core, independent of the HTTP plumbing (testable)."""
+    """Request-handling core, independent of the HTTP plumbing (testable).
+
+    ``max_batch`` > 1 routes single-record payloads through a
+    :class:`MicroBatcher` (bounded queue + dispatcher thread) so concurrent
+    point queries are scored in one vectorized pass; ``max_batch=1``
+    preserves the inline thread-per-request behavior.
+    """
 
     def __init__(
         self,
         engine: ScoringEngine,
         model_id: str = "unknown",
         monitor: Optional[FairnessMonitor] = None,
+        max_batch: int = 1,
+        max_wait_ms: float = 2.0,
+        max_queue: int = 1024,
     ):
         self.engine = engine
         self.model_id = model_id
         if monitor is not None:
             self.engine.monitor = monitor
         self.monitor = self.engine.monitor
+        self._batcher: Optional[MicroBatcher] = None
+        if max_batch > 1:
+            self._batcher = MicroBatcher(
+                engine,
+                max_batch=max_batch,
+                max_wait_ms=max_wait_ms,
+                max_queue=max_queue,
+            )
         self._lock = threading.Lock()
         self._requests = 0
         self._records_scored = 0
         self._errors = 0
         self._latencies: List[float] = []
         self._started_at = time.time()
+
+    def close(self) -> None:
+        """Stop the batching dispatcher (no-op for inline services)."""
+        if self._batcher is not None:
+            self._batcher.close()
 
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
@@ -75,6 +140,8 @@ class ScoringService:
                 "p95": _percentile(latencies, 0.95),
                 "max": latencies[-1],
             }
+        if self._batcher is not None:
+            out["batching"] = self._batcher.stats()
         if self.monitor is not None:
             snapshot = self.monitor.snapshot()
             out["monitor"] = snapshot
@@ -86,6 +153,7 @@ class ScoringService:
     def score(self, payload: Any) -> Dict[str, Any]:
         """Score a parsed JSON payload (single record or batch)."""
         started = time.time()
+        result: Optional[Dict[str, Any]] = None
         try:
             if isinstance(payload, dict) and "records" in payload:
                 records = payload["records"]
@@ -93,37 +161,35 @@ class ScoringService:
                     raise ValueError('"records" must be a list of objects')
                 result = self._score_batch(records)
             elif isinstance(payload, dict):
-                result = self.engine.score_record(payload)
+                if self._batcher is not None:
+                    result = self._batcher.score(payload)
+                else:
+                    result = self.engine.score_record(payload)
                 result = {"records_scored": 1, **result}
             else:
                 raise ValueError(
                     "payload must be a record object or {'records': [...]}"
                 )
-        except Exception:
-            with self._lock:
-                self._errors += 1
-            raise
+            return result
         finally:
+            # one locked update per request keeps the /metrics counters
+            # mutually consistent: requests == successes + errors always,
+            # and records_scored never counts a failed request
             elapsed = (time.time() - started) * 1000.0
             with self._lock:
                 self._requests += 1
+                if result is None:
+                    self._errors += 1
+                else:
+                    self._records_scored += result.get("records_scored", 0)
                 self._latencies.append(elapsed)
                 if len(self._latencies) > 10000:
                     del self._latencies[: len(self._latencies) - 1000]
-        with self._lock:
-            self._records_scored += result.get("records_scored", 0)
-        return result
 
     def _score_batch(self, records: List[Dict[str, Any]]) -> Dict[str, Any]:
         if not records:
             return {"records_scored": 0, "labels": [], "scores": []}
-        spec = self.engine.pipeline.spec
-        kinds = spec.column_kinds()
-        names = [n for n in kinds if any(n in r for r in records)]
-        data = {name: [r.get(name) for r in records] for name in names}
-        frame = DataFrame.from_dict(
-            data, kinds={name: kinds[name] for name in names}
-        )
+        frame = records_to_frame(self.engine.pipeline.spec, records)
         batch = self.engine.score_frame(frame)
         out: Dict[str, Any] = {
             "records_scored": batch.num_scored,
@@ -140,53 +206,176 @@ class ScoringService:
 # ----------------------------------------------------------------------
 # HTTP plumbing
 # ----------------------------------------------------------------------
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+_MAX_LINE = 65536
+
+
 def make_server(
     service: ScoringService, host: str = "127.0.0.1", port: int = 8080
 ) -> ThreadingHTTPServer:
-    """Build a ready-to-serve ThreadingHTTPServer bound to the service."""
+    """Build a ready-to-serve ThreadingHTTPServer bound to the service.
 
-    class Handler(BaseHTTPRequestHandler):
-        # silence per-request stderr logging; the service keeps counters
-        def log_message(self, format, *args):  # noqa: A002
-            pass
+    The connection handler is a minimal HTTP/1.1 loop instead of
+    :class:`BaseHTTPRequestHandler`: persistent connections (one thread
+    serves many requests, no per-request TCP setup), single-write buffered
+    responses with ``TCP_NODELAY`` (the stdlib handler's unbuffered header
+    writes interact with Nagle + delayed ACKs into ~40ms stalls per
+    keep-alive response), and a two-field header scan — this endpoint only
+    ever needs ``Content-Length`` and ``Connection``, so the stdlib's
+    email-module header parsing is pure per-request overhead.
+    """
 
-        def _respond(self, status: int, payload: Dict[str, Any]) -> None:
-            body = json.dumps(payload, allow_nan=True).encode("utf-8")
-            self.send_response(status)
-            self.send_header("Content-Type", "application/json")
-            self.send_header("Content-Length", str(len(body)))
-            self.end_headers()
-            self.wfile.write(body)
+    class Handler(StreamRequestHandler):
+        wbufsize = 64 * 1024  # buffer each response into one TCP segment
+        disable_nagle_algorithm = True
+        # idle keep-alive connections time out instead of pinning a handler
+        # thread forever when a peer dies without closing
+        timeout = 120
 
-        def do_GET(self):  # noqa: N802
-            if self.path == "/healthz":
-                self._respond(200, service.health())
-            elif self.path == "/metrics":
-                self._respond(200, service.metrics())
-            else:
-                self._respond(404, {"error": f"no route {self.path}"})
+        def handle(self):
+            try:
+                while self._one_request():
+                    pass
+            except (ConnectionError, socket.timeout, BrokenPipeError):
+                pass  # client went away; nothing to answer
 
-        def do_POST(self):  # noqa: N802
-            if self.path != "/score":
-                self._respond(404, {"error": f"no route {self.path}"})
-                return
-            length = int(self.headers.get("Content-Length") or 0)
+        # --------------------------------------------------------------
+        def _one_request(self) -> bool:
+            """Serve one request; return True to keep the connection."""
+            line = self.rfile.readline(_MAX_LINE + 1)
+            if not line:
+                return False
+            if len(line) > _MAX_LINE:
+                self._respond(431, {"error": "request line too long"}, False)
+                return False
+            try:
+                method, path, version = line.split()
+            except ValueError:
+                self._respond(400, {"error": "malformed request line"}, False)
+                return False
+            keep_alive_default = version != b"HTTP/1.0"
+            keep_alive = keep_alive_default
+            content_length = 0
+            while True:
+                header = self.rfile.readline(_MAX_LINE + 1)
+                if not header or len(header) > _MAX_LINE:
+                    self._respond(431, {"error": "request headers too long"}, False)
+                    return False
+                if header in (b"\r\n", b"\n"):
+                    break
+                name, colon, value = header.partition(b":")
+                if not colon:
+                    continue
+                name = name.strip().lower()
+                if name == b"content-length":
+                    try:
+                        content_length = int(value)
+                    except ValueError:
+                        self._respond(400, {"error": "bad Content-Length"}, False)
+                        return False
+                elif name == b"connection":
+                    token = value.strip().lower()
+                    keep_alive = (
+                        token != b"close"
+                        if keep_alive_default
+                        else token == b"keep-alive"
+                    )
+                elif name == b"expect" and b"100-continue" in value.lower():
+                    self.wfile.write(b"HTTP/1.1 100 Continue\r\n\r\n")
+                    self.wfile.flush()
+            return self._dispatch(
+                method, path.decode("latin-1"), content_length, keep_alive
+            )
+
+        def _dispatch(
+            self, method: bytes, path: str, length: int, keep_alive: bool
+        ) -> bool:
+            if method == b"GET":
+                try:
+                    if path == "/healthz":
+                        return self._respond(200, service.health(), keep_alive)
+                    if path == "/metrics":
+                        return self._respond(200, service.metrics(), keep_alive)
+                except Exception as error:  # pragma: no cover - defensive
+                    return self._respond(
+                        500,
+                        {"error": f"{type(error).__name__}: {error}"},
+                        keep_alive,
+                    )
+                return self._respond(404, {"error": f"no route {path}"}, keep_alive)
+            if method != b"POST":
+                route = method.decode("latin-1")
+                return self._respond(
+                    501, {"error": f"unsupported method {route}"}, False
+                )
+            if path != "/score":
+                if 0 < length <= MAX_BODY_BYTES:
+                    self.rfile.read(length)  # keep the connection in sync
+                    return self._respond(
+                        404, {"error": f"no route {path}"}, keep_alive
+                    )
+                return self._respond(404, {"error": f"no route {path}"}, False)
             if length <= 0 or length > MAX_BODY_BYTES:
-                self._respond(400, {"error": "missing or oversized request body"})
-                return
+                # the body was never read; drop the connection so leftover
+                # bytes cannot be parsed as the next keep-alive request
+                return self._respond(
+                    400, {"error": "missing or oversized request body"}, False
+                )
             try:
                 payload = json.loads(self.rfile.read(length).decode("utf-8"))
             except (ValueError, UnicodeDecodeError) as error:
-                self._respond(400, {"error": f"invalid JSON: {error}"})
-                return
+                return self._respond(
+                    400, {"error": f"invalid JSON: {error}"}, keep_alive
+                )
             try:
-                self._respond(200, service.score(payload))
+                return self._respond(200, service.score(payload), keep_alive)
+            except ServiceOverloaded as error:
+                return self._respond(503, {"error": str(error)}, keep_alive)
             except (KeyError, ValueError, TypeError) as error:
-                self._respond(422, {"error": str(error)})
+                return self._respond(422, {"error": str(error)}, keep_alive)
             except Exception as error:  # pragma: no cover - defensive
-                self._respond(500, {"error": f"{type(error).__name__}: {error}"})
+                return self._respond(
+                    500, {"error": f"{type(error).__name__}: {error}"}, keep_alive
+                )
 
-    return ThreadingHTTPServer((host, port), Handler)
+        def _respond(
+            self, status: int, payload: Dict[str, Any], keep_alive: bool
+        ) -> bool:
+            body = dumps_strict(payload)
+            reason = _REASONS.get(status, "Unknown")
+            connection = "keep-alive" if keep_alive else "close"
+            head = (
+                f"HTTP/1.1 {status} {reason}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+                f"Connection: {connection}\r\n"
+                "\r\n"
+            ).encode("latin-1")
+            self.wfile.write(head + body)
+            self.wfile.flush()
+            return keep_alive
+
+    class Server(ThreadingHTTPServer):
+        daemon_threads = True
+        # queue bursts at the socket instead of refusing connections while
+        # every handler thread is busy
+        request_queue_size = 128
+
+        def handle_error(self, request, client_address):
+            # connection teardown races are routine under load; everything
+            # else is already answered with a 500 by the handler
+            pass
+
+    return Server((host, port), Handler)
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:

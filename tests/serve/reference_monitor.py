@@ -1,33 +1,22 @@
-"""Sliding-window runtime monitoring of accuracy and group fairness.
+"""Frozen deque-based FairnessMonitor (the PR-4 implementation).
 
-A deployed pipeline drifts: incoming traffic shifts, and a model that was
-fair on its validation split can violate the four-fifths rule in
-production. :class:`FairnessMonitor` keeps the last *N* scored records and
-recomputes, over that window, the same group metrics the experiment layer
-reports — disparate impact and the equal-opportunity gap via
-:mod:`repro.fairness.metrics` (the exact code path, not a reimplementation)
-— plus accuracy proxies (selection rate, mean score, and accuracy whenever
-ground-truth labels arrive). Configurable thresholds turn a snapshot into
-:class:`Alert` records the serving layer exposes on its ``/metrics`` route.
-
-The window lives in preallocated NumPy ring buffers (one per observed
-field, plus validity masks for the optional score/truth fields), so
-``observe_batch`` is a vectorized two-slice copy under the lock and
-``snapshot`` materializes the window with array slices — no Python-level
-loop ever holds the lock, which keeps ``/metrics`` cheap while scoring
-traffic hammers ``observe_batch``.
+This is the reference the ring-buffer monitor must match snapshot-for-
+snapshot: a verbatim copy of the original list/deque implementation with
+only the package-relative imports rewritten. Do not modify it alongside
+:mod:`repro.serve.monitor` -- its whole value is staying frozen.
 """
 
 from __future__ import annotations
 
 import threading
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..fairness import BinaryLabelDataset, ClassificationMetric
-from ..fairness.metrics import BinaryLabelDatasetMetric
+from repro.fairness import BinaryLabelDataset, ClassificationMetric
+from repro.fairness.metrics import BinaryLabelDatasetMetric
 
 # metric -> (lower bound, upper bound); None disables a side. The defaults
 # encode the four-fifths rule on disparate impact and a ±0.1 band on the
@@ -57,7 +46,7 @@ class Alert:
         )
 
 
-class FairnessMonitor:
+class ReferenceFairnessMonitor:
     """Thread-safe sliding window over scored records."""
 
     def __init__(
@@ -79,15 +68,7 @@ class FairnessMonitor:
         self.min_observations = int(min_observations)
         self.favorable_label = float(favorable_label)
         self.unfavorable_label = float(unfavorable_label)
-        n = self.window_size
-        self._groups = np.empty(n, dtype=np.float64)
-        self._predictions = np.empty(n, dtype=np.float64)
-        self._scores = np.empty(n, dtype=np.float64)
-        self._score_valid = np.zeros(n, dtype=bool)
-        self._truths = np.empty(n, dtype=np.float64)
-        self._truth_valid = np.zeros(n, dtype=bool)
-        self._pos = 0  # next write slot
-        self._count = 0  # filled slots, <= window_size
+        self._window: deque = deque(maxlen=self.window_size)
         self._total_observed = 0
         self._lock = threading.Lock()
 
@@ -102,21 +83,10 @@ class FairnessMonitor:
         true_label: Optional[float] = None,
     ) -> None:
         """Record one scored instance (group = protected value, 1.0/0.0)."""
-        group = float(group)
-        prediction = float(prediction)
-        score_value = np.nan if score is None else float(score)
-        truth_value = np.nan if true_label is None else float(true_label)
-        truth_known = truth_value == truth_value  # NaN truth means unlabeled
         with self._lock:
-            p = self._pos
-            self._groups[p] = group
-            self._predictions[p] = prediction
-            self._scores[p] = score_value
-            self._score_valid[p] = score is not None
-            self._truths[p] = truth_value
-            self._truth_valid[p] = truth_known
-            self._pos = (p + 1) % self.window_size
-            self._count = min(self.window_size, self._count + 1)
+            self._window.append(
+                (float(group), float(prediction), score, true_label)
+            )
             self._total_observed += 1
 
     def observe_batch(
@@ -126,69 +96,26 @@ class FairnessMonitor:
         scores: Optional[np.ndarray] = None,
         true_labels: Optional[np.ndarray] = None,
     ) -> None:
-        """Record a scored batch; a NaN in ``true_labels`` means *unlabeled*.
-
-        All four inputs are validated and raveled **before** the window is
-        touched: a shape or length mismatch raises :class:`ValueError` and
-        leaves the window exactly as it was (no partial ingestion).
-        """
+        """Record a scored batch; a NaN in ``true_labels`` means *unlabeled*."""
         groups = np.asarray(groups, dtype=np.float64).ravel()
         predictions = np.asarray(predictions, dtype=np.float64).ravel()
         total = len(groups)
-        if len(predictions) != total:
-            raise ValueError(
-                f"predictions length {len(predictions)} != groups length {total}"
-            )
-        if scores is not None:
-            scores = np.asarray(scores, dtype=np.float64).ravel()
-            if len(scores) != total:
-                raise ValueError(
-                    f"scores length {len(scores)} != groups length {total}"
-                )
-        if true_labels is not None:
-            true_labels = np.asarray(true_labels, dtype=np.float64).ravel()
-            if len(true_labels) != total:
-                raise ValueError(
-                    f"true_labels length {len(true_labels)} != groups length {total}"
-                )
         # rows beyond the window would be evicted immediately; skip them
-        if total > self.window_size:
-            start = total - self.window_size
-            groups = groups[start:]
-            predictions = predictions[start:]
-            scores = None if scores is None else scores[start:]
-            true_labels = None if true_labels is None else true_labels[start:]
-        k = len(groups)
+        start = max(0, total - self.window_size)
         with self._lock:
-            self._write_ring(self._groups, groups, k)
-            self._write_ring(self._predictions, predictions, k)
-            self._write_ring(self._scores, np.nan if scores is None else scores, k)
-            self._write_ring(self._score_valid, scores is not None, k)
-            self._write_ring(
-                self._truths, np.nan if true_labels is None else true_labels, k
-            )
-            self._write_ring(
-                self._truth_valid,
-                False if true_labels is None else true_labels == true_labels,
-                k,
-            )
-            self._pos = (self._pos + k) % self.window_size
-            self._count = min(self.window_size, self._count + k)
+            for i in range(start, total):
+                truth = None if true_labels is None else float(true_labels[i])
+                if truth is not None and truth != truth:
+                    truth = None
+                self._window.append(
+                    (
+                        float(groups[i]),
+                        float(predictions[i]),
+                        None if scores is None else float(scores[i]),
+                        truth,
+                    )
+                )
             self._total_observed += total
-
-    def _write_ring(self, buffer: np.ndarray, values, k: int) -> None:
-        """Copy ``k`` values (array or scalar fill) into the ring at ``_pos``.
-
-        Caller holds the lock and advances ``_pos`` once per batch; this
-        helper only performs the (at most two) contiguous slice writes.
-        """
-        p, n = self._pos, self.window_size
-        first = min(k, n - p)
-        scalar = np.ndim(values) == 0
-        buffer[p : p + first] = values if scalar else values[:first]
-        rest = k - first
-        if rest:
-            buffer[:rest] = values if scalar else values[first:]
 
     # ------------------------------------------------------------------
     # metrics
@@ -196,28 +123,27 @@ class FairnessMonitor:
     def snapshot(self) -> Dict[str, float]:
         """Windowed metrics, via the experiment layer's own metric classes."""
         with self._lock:
-            count = self._count
+            rows = list(self._window)
             total = self._total_observed
-            groups = self._window_view(self._groups, count)
-            predictions = self._window_view(self._predictions, count)
-            scores = self._window_view(self._scores, count)
-            score_valid = self._window_view(self._score_valid, count)
-            truths = self._window_view(self._truths, count)
-            truth_valid = self._window_view(self._truth_valid, count)
         out: Dict[str, float] = {
-            "window": float(count),
+            "window": float(len(rows)),
             "total_observed": float(total),
         }
-        if not count:
+        if not rows:
             return out
+        groups = np.asarray([r[0] for r in rows])
+        predictions = np.asarray([r[1] for r in rows])
+        scores = [r[2] for r in rows]
+        truths = [r[3] for r in rows]
 
         pred_data = self._dataset(predictions, groups)
         both_groups = bool((groups == 1.0).any() and (groups == 0.0).any())
         out["selection_rate"] = float(
             (predictions == self.favorable_label).mean()
         )
-        if score_valid.any():
-            out["mean_score"] = float(np.mean(scores[score_valid]))
+        known_scores = [s for s in scores if s is not None]
+        if known_scores:
+            out["mean_score"] = float(np.mean(known_scores))
         if both_groups:
             dataset_metric = BinaryLabelDatasetMetric(
                 pred_data,
@@ -229,11 +155,14 @@ class FairnessMonitor:
                 dataset_metric.statistical_parity_difference()
             )
 
-        out["labeled_fraction"] = float(truth_valid.mean())
-        if truth_valid.any():
-            true_labels = truths[truth_valid]
-            sub_groups = groups[truth_valid]
-            sub_predictions = predictions[truth_valid]
+        labeled = np.asarray([t is not None for t in truths])
+        out["labeled_fraction"] = float(labeled.mean())
+        if labeled.any():
+            true_labels = np.asarray(
+                [t for t in truths if t is not None], dtype=np.float64
+            )
+            sub_groups = groups[labeled]
+            sub_predictions = predictions[labeled]
             truth_data = self._dataset(true_labels, sub_groups)
             pred_sub = self._dataset(sub_predictions, sub_groups)
             out["accuracy"] = float((sub_predictions == true_labels).mean())
@@ -249,19 +178,6 @@ class FairnessMonitor:
                 )
                 out["average_odds_difference"] = metric.average_odds_difference()
         return out
-
-    def _window_view(self, buffer: np.ndarray, count: int) -> np.ndarray:
-        """The window contents, oldest record first (caller holds the lock).
-
-        Oldest-first ordering reproduces the exact float summation order of
-        the original deque implementation, keeping metrics bit-identical.
-        """
-        if count < self.window_size:
-            return buffer[:count].copy()
-        p = self._pos
-        if p == 0:
-            return buffer.copy()
-        return np.concatenate([buffer[p:], buffer[:p]])
 
     def check(self, snapshot: Optional[Dict[str, float]] = None) -> List[Alert]:
         """Threshold violations over the current window (empty = healthy).
@@ -294,10 +210,7 @@ class FairnessMonitor:
 
     def reset(self) -> None:
         with self._lock:
-            self._pos = 0
-            self._count = 0
-            self._score_valid[:] = False
-            self._truth_valid[:] = False
+            self._window.clear()
 
     # ------------------------------------------------------------------
     def _dataset(self, labels: np.ndarray, groups: np.ndarray) -> BinaryLabelDataset:

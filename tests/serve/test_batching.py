@@ -1,0 +1,265 @@
+"""Micro-batching scoring core: coalescing, byte-identity, typed errors,
+bounded-queue load shedding, and counter consistency under concurrency."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CompleteCaseAnalysis,
+    DecisionTree,
+    Experiment,
+    ModeImputer,
+)
+from repro.datasets import load_dataset
+from repro.serve import (
+    MicroBatcher,
+    ModelRegistry,
+    ScoringEngine,
+    ScoringService,
+    ServiceOverloaded,
+)
+
+
+def _export_pipeline(root, dataset, handler=None, n=None):
+    frame, spec = load_dataset(dataset, n=n) if n else load_dataset(dataset)
+    kwargs = {} if handler is None else {"missing_value_handler": handler}
+    experiment = Experiment(
+        frame=frame,
+        spec=spec,
+        random_seed=5,
+        learner=DecisionTree(tuned=False),
+        **kwargs,
+    )
+    prepared = experiment.prepare()
+    trained = experiment.train_candidates(prepared)
+    result = experiment.evaluate(prepared, trained)
+    registry = ModelRegistry(root)
+    experiment.export_pipeline(prepared, trained, result, registry=registry)
+    model_id = registry.list_models()[0]["model_id"]
+    return registry.load_pipeline(model_id), frame
+
+
+def _records(frame, count, start=0):
+    decoded = {c: frame.col(c).values for c in frame.columns}
+    out = []
+    for i in range(start, start + count):
+        row = {}
+        for name in frame.columns:
+            value = decoded[name][i]
+            row[name] = value.item() if hasattr(value, "item") else value
+        out.append(row)
+    return out
+
+
+@pytest.fixture(scope="module")
+def german(tmp_path_factory):
+    root = tmp_path_factory.mktemp("registry-german")
+    return _export_pipeline(str(root), "germancredit")
+
+
+@pytest.fixture(scope="module")
+def adult_cc(tmp_path_factory):
+    """Adult pipeline with a row-dropping (complete-case) handler."""
+    root = tmp_path_factory.mktemp("registry-adult")
+    return _export_pipeline(
+        str(root), "adult", handler=CompleteCaseAnalysis(), n=1500
+    )
+
+
+class TestCoalescedByteIdentity:
+    def test_coalesced_batch_matches_score_record(self, german):
+        """Futures submitted together resolve byte-identical to score_record."""
+        pipeline, frame = german
+        direct = ScoringEngine(pipeline)
+        batcher = MicroBatcher(
+            ScoringEngine(pipeline), max_batch=8, max_wait_ms=1000.0
+        )
+        try:
+            records = _records(frame, 8)
+            futures = [batcher.submit(r) for r in records]
+            results = [f.result(timeout=30) for f in futures]
+            stats = batcher.stats()
+            # the long max_wait guarantees the dispatcher coalesced: at most
+            # one request can slip into its own batch before the rest queue
+            assert stats["batches_dispatched"] <= 2
+            assert stats["records_batched"] == 8
+            for record, got in zip(records, results):
+                assert got == direct.score_record(record)
+        finally:
+            batcher.close()
+
+    def test_batched_service_matches_inline_service(self, german):
+        pipeline, frame = german
+        direct = ScoringEngine(pipeline)
+        service = ScoringService(
+            ScoringEngine(pipeline), max_batch=8, max_wait_ms=50.0
+        )
+        try:
+            records = _records(frame, 16)
+            results = [None] * len(records)
+            barrier = threading.Barrier(len(records))
+
+            def worker(i):
+                barrier.wait()
+                results[i] = service.score(records[i])
+
+            threads = [
+                threading.Thread(target=worker, args=(i,))
+                for i in range(len(records))
+            ]
+            [t.start() for t in threads]
+            [t.join() for t in threads]
+            for record, got in zip(records, results):
+                expected = {"records_scored": 1, **direct.score_record(record)}
+                assert got == expected
+        finally:
+            service.close()
+
+
+class TestTypedErrors:
+    def test_dropped_record_gets_value_error_batchmates_survive(self, adult_cc):
+        """One incomplete record errors; its batch-mates score normally."""
+        pipeline, frame = adult_cc
+        direct = ScoringEngine(pipeline)
+        batcher = MicroBatcher(
+            ScoringEngine(pipeline), max_batch=4, max_wait_ms=1000.0
+        )
+        try:
+            records = _records(frame, 4)
+            incomplete = dict(records[1])
+            feature = pipeline.spec.feature_columns[0]
+            incomplete[feature] = None
+            submitted = [records[0], incomplete, records[2], records[3]]
+            futures = [batcher.submit(r) for r in submitted]
+            with pytest.raises(ValueError, match="drops incomplete records"):
+                futures[1].result(timeout=30)
+            for i in (0, 2, 3):
+                assert futures[i].result(timeout=30) == direct.score_record(
+                    submitted[i]
+                )
+        finally:
+            batcher.close()
+
+    def test_frame_level_failure_falls_back_to_per_record_errors(self, german):
+        """Records a coalesced frame cannot score still get individual errors."""
+        pipeline, _ = german
+        batcher = MicroBatcher(
+            ScoringEngine(pipeline), max_batch=4, max_wait_ms=1000.0
+        )
+        try:
+            futures = [batcher.submit({"bogus": i}) for i in range(4)]
+            for future in futures:
+                with pytest.raises((KeyError, ValueError)):
+                    future.result(timeout=30)
+        finally:
+            batcher.close()
+
+
+class _BlockingEngine:
+    """Stub engine that parks the dispatcher until released."""
+
+    def __init__(self):
+        self.entered = threading.Event()
+        self.release = threading.Event()
+
+    def score_record(self, record):
+        self.entered.set()
+        assert self.release.wait(timeout=30)
+        return {"label": 1.0, "score": 0.5, "favorable": True, "decision": "good"}
+
+
+class TestBoundedQueue:
+    def test_full_queue_sheds_load_with_service_overloaded(self):
+        engine = _BlockingEngine()
+        batcher = MicroBatcher(engine, max_batch=1, max_wait_ms=0.0, max_queue=2)
+        try:
+            first = batcher.submit({})
+            assert engine.entered.wait(timeout=30)  # dispatcher is parked
+            queued = [batcher.submit({}) for _ in range(2)]
+            with pytest.raises(ServiceOverloaded, match="queue full"):
+                batcher.submit({})
+        finally:
+            engine.release.set()
+            batcher.close()
+        assert first.result(timeout=30)["label"] == 1.0
+        for future in queued:
+            assert future.result(timeout=30)["label"] == 1.0
+
+    def test_close_drains_then_rejects(self, german):
+        pipeline, frame = german
+        direct = ScoringEngine(pipeline)
+        batcher = MicroBatcher(
+            ScoringEngine(pipeline), max_batch=4, max_wait_ms=1.0
+        )
+        record = _records(frame, 1)[0]
+        future = batcher.submit(record)
+        batcher.close()
+        assert future.result(timeout=30) == direct.score_record(record)
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(record)
+
+    def test_constructor_validation(self, german):
+        pipeline, _ = german
+        engine = ScoringEngine(pipeline)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_wait_ms=-1)
+        with pytest.raises(ValueError):
+            MicroBatcher(engine, max_queue=0)
+
+
+class TestCounterConsistency:
+    """Regression: /metrics counters must agree under concurrent traffic.
+
+    The old score() took the counter lock twice and skipped records_scored
+    on the success path of a request that raced an exception, so requests
+    could drift from errors + successes.
+    """
+
+    @pytest.mark.parametrize("max_batch", [1, 8])
+    def test_requests_equal_errors_plus_successes(self, german, max_batch):
+        pipeline, frame = german
+        service = ScoringService(
+            ScoringEngine(pipeline), max_batch=max_batch, max_wait_ms=2.0
+        )
+        try:
+            records = _records(frame, 10)
+            n_threads, per_thread = 6, 10
+            outcomes = [[None] * per_thread for _ in range(n_threads)]
+            barrier = threading.Barrier(n_threads)
+
+            def worker(t):
+                barrier.wait()
+                for m in range(per_thread):
+                    # every third request is malformed and must error
+                    if (t + m) % 3 == 0:
+                        try:
+                            service.score([1, 2, 3])
+                            outcomes[t][m] = "unexpected-success"
+                        except (ValueError, TypeError):
+                            outcomes[t][m] = "error"
+                    else:
+                        out = service.score(records[(t + m) % len(records)])
+                        outcomes[t][m] = "ok" if out["records_scored"] == 1 else "bad"
+
+            threads = [
+                threading.Thread(target=worker, args=(t,))
+                for t in range(n_threads)
+            ]
+            [t.start() for t in threads]
+            [t.join() for t in threads]
+
+            flat = [o for row in outcomes for o in row]
+            assert "unexpected-success" not in flat and "bad" not in flat
+            successes = flat.count("ok")
+            errors = flat.count("error")
+            metrics = service.metrics()
+            assert metrics["requests"] == n_threads * per_thread
+            assert metrics["errors"] == errors
+            assert metrics["requests"] == metrics["errors"] + successes
+            assert metrics["records_scored"] == successes  # no lost records
+        finally:
+            service.close()
