@@ -1,7 +1,7 @@
 """HTTP load benchmark: micro-batched serving vs the thread-per-request path.
 
-Spins up three in-process servers over the *same* exported pipeline and
-hammers each with concurrent single-record ``POST /score`` traffic from
+Spins up four servers over the *same* exported pipeline and hammers each
+with concurrent single-record ``POST /score`` traffic from
 persistent-connection client threads:
 
 * **legacy** — the pre-micro-batching serving stack: HTTP/1.0 (a fresh
@@ -10,12 +10,16 @@ persistent-connection client threads:
 * **unbatched** — the hardened plumbing (keep-alive, buffered single-write
   responses, TCP_NODELAY, strict JSON) still scoring inline per request;
 * **batched** — the same plumbing with the micro-batching core coalescing
-  concurrent requests into vectorized ``score_frame`` passes.
+  concurrent requests into vectorized ``score_frame`` passes;
+* **fleet** — the multi-worker round: a pre-forked ``ServingFleet`` of
+  batched workers sharing one port (the pipeline is loaded once pre-fork
+  and shared copy-on-write), traffic only starts once ``/healthz``
+  reports the whole fleet alive.
 
 Every response is decoded with a strict JSON parser (bare ``NaN`` /
-``Infinity`` tokens fail the run), and the batched server's response
-*bytes* are compared against locally computed ``score_record`` responses
-before any timing starts.
+``Infinity`` tokens fail the run), and both the batched server's and the
+fleet's response *bytes* are compared against locally computed
+``score_record`` responses before any timing starts.
 
 Usage::
 
@@ -25,7 +29,10 @@ Usage::
 ``--smoke`` runs a short burst, asserts the correctness invariants, and
 enforces the committed speedup floors in ``BENCH_http.json`` (>= 3x
 sustained single-record throughput for the micro-batching server vs the
-legacy thread-per-request path).
+legacy thread-per-request path; >= 2.5x the 1-worker batched server for a
+4-worker fleet, enforced only when the recording machine had >= 4 cores —
+``meta`` records ``cpu_count``/``fleet_workers`` so single-core runners
+log a skip instead of failing a floor physics forbids them to meet).
 """
 
 from __future__ import annotations
@@ -49,6 +56,7 @@ from repro.serve import (
     ModelRegistry,
     ScoringEngine,
     ScoringService,
+    ServingFleet,
     dumps_strict,
     make_server,
 )
@@ -59,10 +67,23 @@ BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_http.json")
 # batched-vs-legacy floor is the ISSUE's acceptance criterion
 SPEEDUP_FLOORS = {"batched_vs_legacy": 3.0, "unbatched_vs_legacy": 1.5}
 
+# the multi-worker floor only binds when the fleet could actually spread
+# across cores: a 4-worker fleet on a >= 4-core machine must deliver
+# >= 2.5x the 1-worker batched server (ISSUE 6 acceptance criterion)
+FLEET_FLOOR = 2.5
+FLEET_FLOOR_WORKERS = 4
+
 ADULT_ROWS = 4000
 SMOKE_ROWS = 1200
 MAX_BATCH = 64
 MAX_WAIT_MS = 2.0
+
+
+def _fleet_size() -> int:
+    """4 workers where the cores exist; still >= 2 on small machines so
+    the fleet path itself (fork, port sharing, aggregation) is exercised
+    everywhere the benchmark runs."""
+    return max(2, min(FLEET_FLOOR_WORKERS, os.cpu_count() or 1))
 
 
 def _strict_loads(data):
@@ -162,6 +183,35 @@ def _request_bytes(record) -> bytes:
         "\r\n"
     ).encode("ascii")
     return head + body
+
+
+def _get_bytes(path: str) -> bytes:
+    return f"GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n".encode("ascii")
+
+
+def _get_json(port, path):
+    client = _RawClient(port)
+    try:
+        status, body = client.request(_get_bytes(path))
+    finally:
+        client.close()
+    assert status == 200, f"GET {path} -> HTTP {status}"
+    return _strict_loads(body)
+
+
+def _wait_fleet_healthy(port, workers, timeout=60.0):
+    """Block until /healthz reports every worker alive (CI gate: no
+    traffic before the whole fleet is up)."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        try:
+            health = _get_json(port, "/healthz")
+            if health["fleet"]["workers_alive"] == workers:
+                return health
+        except (OSError, AssertionError):
+            pass
+        time.sleep(0.1)
+    raise RuntimeError(f"fleet of {workers} never became healthy on :{port}")
 
 
 class _RawClient:
@@ -321,14 +371,26 @@ def _verify_batched_bytes(pipeline, port, records):
 
 # ----------------------------------------------------------------------
 def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
+    fleet_workers = _fleet_size()
     with tempfile.TemporaryDirectory() as root:
         pipeline, complete = _build_pipeline(n_rows, root)
         records = _records(complete, 256)
         warmup = max(8, per_thread // 10)
 
-        # all three servers share the machine; rounds are interleaved and
-        # the best round kept, so a noisy neighbor (GC, page cache) biases
-        # no single configuration
+        # the fleet forks FIRST, while this process is still single-
+        # threaded — forking after the in-process servers spawn handler
+        # threads would risk inheriting locks mid-flight — and the workers
+        # share the pipeline loaded above copy-on-write
+        fleet = ServingFleet(
+            lambda: _service(pipeline, max_batch=MAX_BATCH),
+            port=0,
+            workers=fleet_workers,
+        )
+        _, fleet_port = fleet.start()
+
+        # all servers share the machine; rounds are interleaved and the
+        # best round kept, so a noisy neighbor (GC, page cache) biases no
+        # single configuration
         batched_service = _service(pipeline, max_batch=MAX_BATCH)
         unbatched_service = _service(pipeline, max_batch=1)
         legacy_service = _service(pipeline, max_batch=1)
@@ -338,19 +400,37 @@ def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
             "legacy": _legacy_server(legacy_service),
         }
         ports = {name: _serve(server) for name, server in servers.items()}
+        ports["fleet"] = fleet_port
+        _wait_fleet_healthy(fleet_port, fleet_workers)
         _verify_batched_bytes(pipeline, ports["batched"], records[:24])
+        _verify_batched_bytes(pipeline, fleet_port, records[:24])
 
-        throughput = {name: 0.0 for name in servers}
-        retries = {name: 0 for name in servers}
-        for name in servers:
+        throughput = {name: 0.0 for name in ports}
+        retries = {name: 0 for name in ports}
+        for name in ports:
             _hammer(ports[name], records, n_threads, warmup)
         for _ in range(rounds):
-            for name in servers:
+            for name in ports:
                 rps, retried = _hammer(ports[name], records, n_threads, per_thread)
                 throughput[name] = max(throughput[name], rps)
                 retries[name] += retried
         batching_stats = batched_service._batcher.stats()
 
+        # fleet bookkeeping must add up across workers: every request one
+        # of them counted is a success or an error, never both or neither
+        fleet_metrics = _get_json(fleet_port, "/metrics")
+        assert fleet_metrics["fleet"]["workers_alive"] == fleet_workers, (
+            f"fleet lost workers during the run: {fleet_metrics['fleet']}"
+        )
+        assert (
+            fleet_metrics["requests"]
+            == fleet_metrics["successes"] + fleet_metrics["errors"]
+        ), f"fleet counter invariant violated: {fleet_metrics}"
+        assert fleet_metrics["errors"] == 0, (
+            f"fleet served errors under load: {fleet_metrics}"
+        )
+
+        fleet.stop()
         for server in servers.values():
             server.shutdown()
             server.server_close()
@@ -362,6 +442,7 @@ def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
             "legacy_rps": round(throughput["legacy"], 1),
             "unbatched_rps": round(throughput["unbatched"], 1),
             "batched_rps": round(throughput["batched"], 1),
+            "fleet_rps": round(throughput["fleet"], 1),
             "mean_batch_size": round(batching_stats["mean_batch_size"], 2),
             "legacy_connection_retries": retries["legacy"],
         },
@@ -375,6 +456,12 @@ def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
             "batched_vs_unbatched": round(
                 throughput["batched"] / throughput["unbatched"], 2
             ),
+            "fleet_vs_batched": round(
+                throughput["fleet"] / throughput["batched"], 2
+            ),
+            "fleet_vs_legacy": round(
+                throughput["fleet"] / throughput["legacy"], 2
+            ),
         },
         "meta": {
             "n_rows": n_rows,
@@ -384,6 +471,8 @@ def run_benchmarks(n_rows, n_threads, per_thread, rounds=3):
             "max_batch": MAX_BATCH,
             "max_wait_ms": MAX_WAIT_MS,
             "cpu_count": os.cpu_count(),
+            "fleet_workers": fleet_workers,
+            "fleet_mode": fleet.mode,
         },
     }
 
@@ -396,6 +485,22 @@ def check_floors():
         assert value >= floor, (
             f"committed {name} speedup {value} fell below its floor {floor}; "
             "re-record BENCH_http.json from an implementation that restores it"
+        )
+    meta = recorded["meta"]
+    cores = meta.get("cpu_count") or 1
+    workers = meta.get("fleet_workers", 0)
+    if cores >= FLEET_FLOOR_WORKERS and workers >= FLEET_FLOOR_WORKERS:
+        value = recorded["speedup"]["fleet_vs_batched"]
+        assert value >= FLEET_FLOOR, (
+            f"committed fleet_vs_batched speedup {value} fell below its "
+            f"floor {FLEET_FLOOR} on a {cores}-core recording machine; "
+            "re-record BENCH_http.json from an implementation that restores it"
+        )
+    else:
+        print(
+            f"fleet floor skipped: recording machine had cpu_count={cores} "
+            f"and fleet_workers={workers}; the {FLEET_FLOOR}x multi-worker "
+            f"floor only binds at >= {FLEET_FLOOR_WORKERS} cores/workers"
         )
 
 

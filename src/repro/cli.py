@@ -17,9 +17,11 @@ Commands
 ``score --registry PATH --model REF --dataset NAME [options]``
     Reload a pipeline in this (fresh) process and score a batch;
     ``--verify`` byte-compares against the exported run's predictions.
-``serve --registry PATH --model REF [--host --port --max-batch --max-wait-ms]``
+``serve --registry PATH --model REF [--host --port --workers N --max-batch --max-wait-ms]``
     Start the stdlib HTTP scoring endpoint with runtime monitoring and
-    micro-batched single-record scoring.
+    micro-batched single-record scoring; ``--workers N`` pre-forks a
+    supervised multi-core fleet sharing one port with fleet-aggregated
+    ``/metrics`` and ``/healthz``.
 ``registry --registry PATH [--list | --promote ID | --rollback]``
     Inspect and manage tags in a model registry.
 """
@@ -182,6 +184,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument(
+        "--workers",
+        type=_positive_int,
+        default=1,
+        help="number of scoring worker processes sharing the port "
+        "(1 = single-process serving, the default; N > 1 pre-forks a "
+        "supervised fleet via SO_REUSEPORT or inherited-socket accept)",
+    )
+    p_serve.add_argument(
         "--window", type=int, default=1000, help="monitoring window size"
     )
     p_serve.add_argument(
@@ -208,6 +218,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_registry.add_argument("--rollback", action="store_true")
     p_registry.add_argument("--tag", default="production")
     return parser
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
 
 
 def _dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -489,6 +506,8 @@ def _cmd_score(args) -> int:
 
 
 def _cmd_serve(args) -> int:
+    import os
+
     from .serve import (
         FairnessMonitor,
         ScoringEngine,
@@ -498,16 +517,34 @@ def _cmd_serve(args) -> int:
 
     registry = _open_registry(args.registry)
     model_id = _registry_op(registry.resolve, args.model)
+    # loaded once, pre-fork: in fleet mode every worker shares this
+    # artifact copy-on-write instead of re-reading it N times
     pipeline = registry.load_pipeline(model_id)
-    monitor = FairnessMonitor(
-        pipeline.protected_attribute, window_size=args.window
-    )
-    service = ScoringService(
-        ScoringEngine(pipeline, monitor=monitor),
-        model_id=model_id,
-        max_batch=args.max_batch,
-        max_wait_ms=args.max_wait_ms,
-    )
+
+    cores = os.cpu_count() or 1
+    if args.workers > cores:
+        print(
+            f"warning: --workers {args.workers} exceeds the machine's "
+            f"{cores} CPU core(s); extra workers only add memory and "
+            "context-switch overhead",
+            file=sys.stderr,
+        )
+
+    def build_service() -> ScoringService:
+        monitor = FairnessMonitor(
+            pipeline.protected_attribute, window_size=args.window
+        )
+        return ScoringService(
+            ScoringEngine(pipeline, monitor=monitor),
+            model_id=model_id,
+            max_batch=args.max_batch,
+            max_wait_ms=args.max_wait_ms,
+        )
+
+    if args.workers > 1:
+        return _serve_fleet(args, build_service, model_id)
+
+    service = build_service()
     server = make_server(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"serving model {model_id} on http://{host}:{port}", file=sys.stderr)
@@ -525,6 +562,46 @@ def _cmd_serve(args) -> int:
     finally:
         server.server_close()
         service.close()
+    return 0
+
+
+def _serve_fleet(args, build_service, model_id: str) -> int:
+    import signal
+
+    from .serve import ServingFleet
+
+    def log(message: str) -> None:
+        print(message, file=sys.stderr, flush=True)
+
+    fleet = ServingFleet(
+        build_service,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        log=log,
+    )
+    fleet.start()
+    print(
+        f"serving model {model_id} on http://{fleet.host}:{fleet.port} "
+        f"with {args.workers} workers ({fleet.mode})",
+        file=sys.stderr,
+    )
+    print(
+        "routes: GET /healthz  GET /metrics  POST /score "
+        "(fleet-aggregated on any worker)",
+        file=sys.stderr,
+    )
+    print(
+        f"per-worker micro-batching: max_batch={args.max_batch} "
+        f"max_wait_ms={args.max_wait_ms}",
+        file=sys.stderr,
+    )
+    signal.signal(signal.SIGTERM, lambda *_: fleet.request_stop())
+    signal.signal(signal.SIGINT, lambda *_: fleet.request_stop())
+    try:
+        fleet.wait()
+    except KeyboardInterrupt:  # pragma: no cover - interactive
+        fleet.stop()
     return 0
 
 

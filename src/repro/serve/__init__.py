@@ -15,7 +15,10 @@ with the process. This subsystem makes them durable and usable:
 * :mod:`~repro.serve.batching` — micro-batching core that coalesces
   concurrent single-record requests into vectorized scoring passes;
 * :mod:`~repro.serve.service` — a stdlib HTTP JSON scoring endpoint
-  (keep-alive, strict JSON, bounded-queue load shedding).
+  (keep-alive, strict JSON, bounded-queue load shedding);
+* :mod:`~repro.serve.fleet` — pre-forked multi-core worker fleet sharing
+  one port (SO_REUSEPORT or inherited-socket pre-fork accept) with
+  fleet-wide merged monitoring, worker respawn, and graceful drain.
 """
 
 from .artifacts import (
@@ -26,7 +29,8 @@ from .artifacts import (
     save_artifact,
     schema_fingerprint,
 )
-from .batching import MicroBatcher, ServiceOverloaded
+from .batching import BatcherClosed, MicroBatcher, ServiceOverloaded
+from .fleet import FleetView, ServingFleet
 from .monitor import Alert, FairnessMonitor
 from .registry import ModelRegistry
 from .scoring import BatchScores, ScoringEngine, records_to_frame
@@ -37,12 +41,15 @@ __all__ = [
     "ARTIFACT_VERSION",
     "Alert",
     "BatchScores",
+    "BatcherClosed",
     "FairnessMonitor",
+    "FleetView",
     "MicroBatcher",
     "ModelRegistry",
     "PipelineArtifact",
     "ScoringEngine",
     "ScoringService",
+    "ServingFleet",
     "ServiceOverloaded",
     "dumps_strict",
     "json_safe",

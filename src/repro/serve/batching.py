@@ -21,7 +21,12 @@ Failure semantics:
   same :class:`ValueError` the single-record path raises;
 * if the coalesced frame itself fails to score, the batch falls back to
   per-record ``score_record`` calls so each request receives its *own*
-  typed error — one malformed record cannot poison its batch-mates.
+  typed error — one malformed record cannot poison its batch-mates;
+* :meth:`MicroBatcher.close` has a drain contract: new submissions are
+  rejected with :class:`BatcherClosed`, already-queued requests flush
+  through final dispatch passes, and anything still queued when the drain
+  deadline expires resolves with :class:`BatcherClosed` instead of
+  blocking its caller forever.
 """
 
 from __future__ import annotations
@@ -38,6 +43,16 @@ from .scoring import DROPPED_RECORD_ERROR, ScoringEngine, records_to_frame
 
 class ServiceOverloaded(RuntimeError):
     """The request queue is full; the caller should shed load (HTTP 503)."""
+
+
+class BatcherClosed(RuntimeError):
+    """The batcher is shut down; the request was rejected, not scored.
+
+    Raised at submit time once :meth:`MicroBatcher.close` has run, and set
+    on any future whose request was still queued when the drain deadline
+    expired — a typed signal (the HTTP layer maps it to 503 + connection
+    close) that the caller should retry against another worker.
+    """
 
 
 class _Request:
@@ -86,7 +101,7 @@ class MicroBatcher:
         request = _Request(record)
         with self._cond:
             if self._closed:
-                raise RuntimeError("MicroBatcher is closed")
+                raise BatcherClosed("MicroBatcher is closed")
             if len(self._queue) >= self.max_queue:
                 raise ServiceOverloaded(
                     f"scoring queue full ({self.max_queue} pending requests)"
@@ -113,14 +128,40 @@ class MicroBatcher:
             "queue_depth": float(depth),
         }
 
-    def close(self) -> None:
-        """Stop the dispatcher after draining already-queued requests."""
+    def close(self, timeout: float = 10.0) -> None:
+        """Stop the dispatcher; drain, then fail anything left with a type.
+
+        The contract, in order:
+
+        1. new submissions are rejected with :class:`BatcherClosed` from
+           the moment close() takes the lock;
+        2. requests already queued are flushed through the dispatcher's
+           final dispatch passes and resolve normally;
+        3. if the dispatcher cannot finish within ``timeout`` (a wedged
+           scoring engine), every request still queued has its future
+           resolved with :class:`BatcherClosed` — no caller is left
+           blocking on a future nobody will ever complete. Requests the
+           dispatcher already took off the queue stay owned by it and
+           resolve with the engine's eventual result or error.
+
+        Idempotent; later calls re-run only the leftover-failing step.
+        """
         with self._cond:
-            if self._closed:
-                return
             self._closed = True
             self._cond.notify_all()
-        self._thread.join(timeout=10.0)
+        self._thread.join(timeout=timeout)
+        self._fail_pending()
+
+    def _fail_pending(self) -> None:
+        with self._cond:
+            leftover = self._queue[:]
+            del self._queue[:]
+        for request in leftover:
+            request.future.set_exception(
+                BatcherClosed(
+                    "MicroBatcher closed before this request was dispatched"
+                )
+            )
 
     # ------------------------------------------------------------------
     # dispatcher side

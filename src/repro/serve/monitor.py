@@ -16,13 +16,21 @@ field, plus validity masks for the optional score/truth fields), so
 ``snapshot`` materializes the window with array slices — no Python-level
 loop ever holds the lock, which keeps ``/metrics`` cheap while scoring
 traffic hammers ``observe_batch``.
+
+Monitors are also *mergeable*: :meth:`FairnessMonitor.state` captures the
+window (oldest record first) plus configuration as a JSON-serializable
+dict, and :meth:`FairnessMonitor.from_states` / :meth:`FairnessMonitor.
+merge` rebuild one monitor from many such states. Merging is defined as
+observing the states' window contents as one concatenated stream, in the
+order given — the contract the multi-worker serving fleet relies on to
+combine per-worker windows into a single fleet-wide fairness view.
 """
 
 from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -189,6 +197,146 @@ class FairnessMonitor:
         rest = k - first
         if rest:
             buffer[:rest] = values if scalar else values[first:]
+
+    # ------------------------------------------------------------------
+    # state snapshot + merge
+    # ------------------------------------------------------------------
+    def state(self) -> Dict[str, Any]:
+        """The monitor's window and configuration as plain Python values.
+
+        The window arrays come out oldest record first — the exact order a
+        fresh monitor must re-observe them in to reproduce this one — and
+        every value is JSON-serializable (missing scores/labels are carried
+        as explicit validity masks, not ``NaN`` sentinels), so states can
+        cross process boundaries over the fleet's control sockets.
+        """
+        with self._lock:
+            count = self._count
+            total = self._total_observed
+            groups = self._window_view(self._groups, count)
+            predictions = self._window_view(self._predictions, count)
+            scores = self._window_view(self._scores, count)
+            score_valid = self._window_view(self._score_valid, count)
+            truths = self._window_view(self._truths, count)
+            truth_valid = self._window_view(self._truth_valid, count)
+        # NaN only ever appears in masked-out slots; zero them so the state
+        # survives strict JSON encoders unchanged
+        scores = np.where(score_valid, scores, 0.0)
+        truths = np.where(truth_valid, truths, 0.0)
+        return {
+            "protected_attribute": self.protected_attribute,
+            "window_size": self.window_size,
+            "min_observations": self.min_observations,
+            "favorable_label": self.favorable_label,
+            "unfavorable_label": self.unfavorable_label,
+            "thresholds": {
+                metric: [lower, upper]
+                for metric, (lower, upper) in self.thresholds.items()
+            },
+            "total_observed": int(total),
+            "groups": groups.tolist(),
+            "predictions": predictions.tolist(),
+            "scores": scores.tolist(),
+            "score_valid": score_valid.tolist(),
+            "truths": truths.tolist(),
+            "truth_valid": truth_valid.tolist(),
+        }
+
+    def merge(
+        self, *others: Union["FairnessMonitor", Dict[str, Any]]
+    ) -> "FairnessMonitor":
+        """Ingest other monitors' windows into this one, in order.
+
+        Equivalent to this monitor having observed each other monitor's
+        window contents (oldest first) as a continuation of its own
+        stream. Accepts live monitors or :meth:`state` dicts; returns
+        ``self`` for chaining.
+        """
+        for other in others:
+            state = other.state() if isinstance(other, FairnessMonitor) else other
+            if state["protected_attribute"] != self.protected_attribute:
+                raise ValueError(
+                    "cannot merge monitors over different protected "
+                    f"attributes ({state['protected_attribute']!r} != "
+                    f"{self.protected_attribute!r})"
+                )
+            if (
+                state["favorable_label"] != self.favorable_label
+                or state["unfavorable_label"] != self.unfavorable_label
+            ):
+                raise ValueError("cannot merge monitors with different labels")
+            self._ingest(state)
+        return self
+
+    @classmethod
+    def from_states(
+        cls,
+        states: Iterable[Dict[str, Any]],
+        window_size: Optional[int] = None,
+    ) -> "FairnessMonitor":
+        """One monitor equivalent to observing the states' windows in order.
+
+        Configuration (protected attribute, labels, thresholds,
+        ``min_observations``) comes from the first state. ``window_size``
+        defaults to the total number of windowed records across all states
+        so a fleet-wide merge drops nothing; pass an explicit size to keep
+        the per-worker semantics (last *N* of the concatenated stream).
+        """
+        states = list(states)
+        if not states:
+            raise ValueError("from_states needs at least one state")
+        first = states[0]
+        if window_size is None:
+            window_size = max(
+                1, sum(len(state["groups"]) for state in states)
+            )
+        thresholds = {
+            metric: (bounds[0], bounds[1])
+            for metric, bounds in first["thresholds"].items()
+        }
+        monitor = cls(
+            protected_attribute=first["protected_attribute"],
+            window_size=window_size,
+            thresholds=thresholds,
+            min_observations=first["min_observations"],
+            favorable_label=first["favorable_label"],
+            unfavorable_label=first["unfavorable_label"],
+        )
+        return monitor.merge(*states)
+
+    def _ingest(self, state: Dict[str, Any]) -> None:
+        """Append one state's window to this monitor's ring, vectorized."""
+        groups = np.asarray(state["groups"], dtype=np.float64)
+        predictions = np.asarray(state["predictions"], dtype=np.float64)
+        score_valid = np.asarray(state["score_valid"], dtype=bool)
+        truth_valid = np.asarray(state["truth_valid"], dtype=bool)
+        scores = np.where(
+            score_valid, np.asarray(state["scores"], dtype=np.float64), np.nan
+        )
+        truths = np.where(
+            truth_valid, np.asarray(state["truths"], dtype=np.float64), np.nan
+        )
+        total = len(groups)
+        if total > self.window_size:
+            start = total - self.window_size
+            groups = groups[start:]
+            predictions = predictions[start:]
+            scores = scores[start:]
+            score_valid = score_valid[start:]
+            truths = truths[start:]
+            truth_valid = truth_valid[start:]
+        k = len(groups)
+        with self._lock:
+            if k:
+                self._write_ring(self._groups, groups, k)
+                self._write_ring(self._predictions, predictions, k)
+                self._write_ring(self._scores, scores, k)
+                self._write_ring(self._score_valid, score_valid, k)
+                self._write_ring(self._truths, truths, k)
+                self._write_ring(self._truth_valid, truth_valid, k)
+                self._pos = (self._pos + k) % self.window_size
+                self._count = min(self.window_size, self._count + k)
+            self._total_observed += int(state["total_observed"])
 
     # ------------------------------------------------------------------
     # metrics

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import math
+import os
 import socket
 import threading
 import time
@@ -34,7 +35,7 @@ from http.server import ThreadingHTTPServer
 from socketserver import StreamRequestHandler
 from typing import Any, Dict, List, Optional
 
-from .batching import MicroBatcher, ServiceOverloaded
+from .batching import BatcherClosed, MicroBatcher, ServiceOverloaded
 from .monitor import FairnessMonitor
 from .scoring import ScoringEngine, records_to_frame
 
@@ -106,18 +107,45 @@ class ScoringService:
         self._requests = 0
         self._records_scored = 0
         self._errors = 0
+        self._inflight = 0
         self._latencies: List[float] = []
         self._started_at = time.time()
+        # set by the fleet layer: a FleetView makes /healthz and /metrics
+        # aggregate across workers; draining=True closes keep-alive
+        # connections after each response during graceful shutdown
+        self.fleet: Optional[Any] = None
+        self.draining = False
 
     def close(self) -> None:
         """Stop the batching dispatcher (no-op for inline services)."""
         if self._batcher is not None:
             self._batcher.close()
 
+    def drain(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown: wait out in-flight work, then close.
+
+        Blocks until no request is being scored and the batching queue is
+        empty (or ``timeout`` expires), then closes the batcher — whose own
+        drain contract flushes anything still queued and fails leftovers
+        with a typed error. Callers stop accepting new connections first;
+        this only waits for work already in the building.
+        """
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            with self._lock:
+                inflight = self._inflight
+            depth = 0.0
+            if self._batcher is not None:
+                depth = self._batcher.stats()["queue_depth"]
+            if inflight == 0 and depth == 0:
+                break
+            time.sleep(0.01)
+        self.close()
+
     # ------------------------------------------------------------------
     def health(self) -> Dict[str, Any]:
         spec = self.engine.pipeline.spec
-        return {
+        out = {
             "status": "ok",
             "model_id": self.model_id,
             "dataset": spec.name,
@@ -125,8 +153,16 @@ class ScoringService:
             "schema_fingerprint": self.engine.pipeline.schema_fingerprint(),
             "uptime_seconds": time.time() - self._started_at,
         }
+        if self.fleet is not None:
+            out.update(self.fleet.health(self))
+        return out
 
     def metrics(self) -> Dict[str, Any]:
+        if self.fleet is not None:
+            return self.fleet.metrics(self)
+        return self.local_metrics()
+
+    def local_metrics(self) -> Dict[str, Any]:
         with self._lock:
             latencies = sorted(self._latencies[-1000:])
             out: Dict[str, Any] = {
@@ -150,10 +186,45 @@ class ScoringService:
             ]
         return out
 
+    def state(self) -> Dict[str, Any]:
+        """Raw per-worker state for fleet aggregation (control socket).
+
+        Counters are sampled under one lock acquisition, so the invariant
+        ``requests == successes + errors`` holds within every sample — and
+        therefore in any sum of samples across workers.
+        """
+        with self._lock:
+            latencies = sorted(self._latencies[-1000:])
+            out: Dict[str, Any] = {
+                "pid": os.getpid(),
+                "requests": self._requests,
+                "successes": self._requests - self._errors,
+                "errors": self._errors,
+                "records_scored": self._records_scored,
+                "inflight": self._inflight,
+                "uptime_seconds": time.time() - self._started_at,
+            }
+        if latencies:
+            out["latency_ms"] = {
+                "p50": _percentile(latencies, 0.50),
+                "p95": _percentile(latencies, 0.95),
+                "max": latencies[-1],
+            }
+        out["queue_depth"] = 0.0
+        if self._batcher is not None:
+            stats = self._batcher.stats()
+            out["batching"] = stats
+            out["queue_depth"] = stats["queue_depth"]
+        if self.monitor is not None:
+            out["monitor"] = self.monitor.state()
+        return out
+
     def score(self, payload: Any) -> Dict[str, Any]:
         """Score a parsed JSON payload (single record or batch)."""
         started = time.time()
         result: Optional[Dict[str, Any]] = None
+        with self._lock:
+            self._inflight += 1
         try:
             if isinstance(payload, dict) and "records" in payload:
                 records = payload["records"]
@@ -177,6 +248,7 @@ class ScoringService:
             # and records_scored never counts a failed request
             elapsed = (time.time() - started) * 1000.0
             with self._lock:
+                self._inflight -= 1
                 self._requests += 1
                 if result is None:
                     self._errors += 1
@@ -220,7 +292,11 @@ _MAX_LINE = 65536
 
 
 def make_server(
-    service: ScoringService, host: str = "127.0.0.1", port: int = 8080
+    service: ScoringService,
+    host: str = "127.0.0.1",
+    port: int = 8080,
+    sock: Optional[socket.socket] = None,
+    reuse_port: bool = False,
 ) -> ThreadingHTTPServer:
     """Build a ready-to-serve ThreadingHTTPServer bound to the service.
 
@@ -232,6 +308,12 @@ def make_server(
     keep-alive response), and a two-field header scan — this endpoint only
     ever needs ``Content-Length`` and ``Connection``, so the stdlib's
     email-module header parsing is pure per-request overhead.
+
+    Fleet hooks: pass an already-listening ``sock`` to adopt it instead of
+    binding (the pre-fork fallback, where every worker accepts on one
+    inherited socket), or ``reuse_port=True`` to bind with
+    ``SO_REUSEPORT`` so sibling workers can bind the same address and let
+    the kernel spread connections across them.
     """
 
     class Handler(StreamRequestHandler):
@@ -338,6 +420,10 @@ def make_server(
                 )
             try:
                 return self._respond(200, service.score(payload), keep_alive)
+            except BatcherClosed as error:
+                # shutting down: answer, then close so the client reconnects
+                # (and lands on a surviving worker in fleet mode)
+                return self._respond(503, {"error": str(error)}, False)
             except ServiceOverloaded as error:
                 return self._respond(503, {"error": str(error)}, keep_alive)
             except (KeyError, ValueError, TypeError) as error:
@@ -350,6 +436,10 @@ def make_server(
         def _respond(
             self, status: int, payload: Dict[str, Any], keep_alive: bool
         ) -> bool:
+            if service.draining:
+                # finish this response, then hand the connection back so
+                # the worker can exit without stranding keep-alive peers
+                keep_alive = False
             body = dumps_strict(payload)
             reason = _REASONS.get(status, "Unknown")
             connection = "keep-alive" if keep_alive else "close"
@@ -375,7 +465,26 @@ def make_server(
             # else is already answered with a 500 by the handler
             pass
 
-    return Server((host, port), Handler)
+    server = Server((host, port), Handler, bind_and_activate=False)
+    if sock is not None:
+        # adopt an inherited, already-listening socket (pre-fork fallback)
+        server.socket.close()
+        server.socket = sock
+        server.server_address = sock.getsockname()
+        return server
+    try:
+        if reuse_port:
+            if not hasattr(socket, "SO_REUSEPORT"):
+                raise OSError("SO_REUSEPORT is not available on this platform")
+            server.socket.setsockopt(
+                socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+            )
+        server.server_bind()
+        server.server_activate()
+    except BaseException:
+        server.server_close()
+        raise
+    return server
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:

@@ -14,6 +14,7 @@ from repro.core import (
 )
 from repro.datasets import load_dataset
 from repro.serve import (
+    BatcherClosed,
     MicroBatcher,
     ModelRegistry,
     ScoringEngine,
@@ -209,6 +210,70 @@ class TestBoundedQueue:
             MicroBatcher(engine, max_wait_ms=-1)
         with pytest.raises(ValueError):
             MicroBatcher(engine, max_queue=0)
+
+
+class _SlowEngine:
+    """Stub engine that takes a fixed wall-clock time per record."""
+
+    def __init__(self, delay=0.02):
+        self.delay = delay
+        self.scored = 0
+
+    def score_record(self, record):
+        import time
+
+        time.sleep(self.delay)
+        self.scored += 1
+        return {"label": 1.0, "score": 0.5, "favorable": True, "decision": "good"}
+
+
+class TestCloseDrainContract:
+    """Regression: close() must drain, reject, and never strand a caller.
+
+    The original close() only joined the dispatcher — a submission racing
+    close got an untyped RuntimeError, and a wedged engine left queued
+    futures pending forever with their handler threads blocked on them.
+    """
+
+    def test_inflight_requests_resolve_through_final_dispatch(self):
+        """Everything queued at close() time still gets scored."""
+        engine = _SlowEngine(delay=0.02)
+        batcher = MicroBatcher(engine, max_batch=1, max_wait_ms=0.0)
+        futures = [batcher.submit({"i": i}) for i in range(6)]
+        batcher.close()
+        for future in futures:
+            assert future.result(timeout=1.0)["label"] == 1.0
+        assert engine.scored == 6
+
+    def test_submit_after_close_raises_typed_error(self):
+        batcher = MicroBatcher(_SlowEngine(), max_batch=2, max_wait_ms=0.0)
+        batcher.close()
+        with pytest.raises(BatcherClosed, match="closed"):
+            batcher.submit({})
+        assert isinstance(BatcherClosed("x"), RuntimeError)  # old except clauses hold
+
+    def test_wedged_engine_fails_leftover_futures_with_typed_error(self):
+        """Queued-but-undispatched requests resolve with BatcherClosed when
+        the drain deadline expires, instead of blocking their callers."""
+        engine = _BlockingEngine()
+        batcher = MicroBatcher(engine, max_batch=1, max_wait_ms=0.0)
+        inflight = batcher.submit({})
+        assert engine.entered.wait(timeout=30)  # dispatcher owns request 1
+        leftovers = [batcher.submit({}) for _ in range(3)]
+        batcher.close(timeout=0.2)  # dispatcher is parked; join times out
+        for future in leftovers:
+            with pytest.raises(BatcherClosed, match="before this request"):
+                future.result(timeout=1.0)
+        assert not inflight.done()  # still owned by the dispatcher
+        engine.release.set()  # unwedge: the in-flight request completes
+        assert inflight.result(timeout=30)["label"] == 1.0
+
+    def test_close_is_idempotent(self):
+        batcher = MicroBatcher(_SlowEngine(), max_batch=2, max_wait_ms=0.0)
+        batcher.close()
+        batcher.close()
+        with pytest.raises(BatcherClosed):
+            batcher.submit({})
 
 
 class TestCounterConsistency:
