@@ -9,14 +9,19 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_frame.py                    # print table
     PYTHONPATH=src python benchmarks/bench_frame.py --record baseline  # object-array numbers
     PYTHONPATH=src python benchmarks/bench_frame.py --record current   # coded-column numbers
+    PYTHONPATH=src python benchmarks/bench_frame.py --scale            # 100k/1M chunked spills
     PYTHONPATH=src python benchmarks/bench_frame.py --smoke            # tiny CI sanity run
 
 ``--record`` merges the timings into ``benchmarks/BENCH_frame.json``
 under the given phase key and, when both phases are present, recomputes the
-per-benchmark speedup table. ``--smoke`` runs every benchmark once at a small
-scale and verifies correctness invariants, so CI catches a vectorized path
-silently regressing to a Python loop (or breaking outright) without paying
-for full-size timing.
+per-benchmark speedup table. ``--scale`` writes synthetic inflations of
+adult at 100k and 1M rows to CSV, times the whole-file read against the
+chunked spill into a memory-mapped store plus the store reload, and
+records the points under the ``scale`` key. ``--smoke`` runs every
+benchmark once at a small scale and verifies correctness invariants
+(including chunked-reader and spill-store round trips byte-identical to
+``read_csv``), so CI catches a vectorized path silently regressing to a
+Python loop (or breaking outright) without paying for full-size timing.
 """
 
 from __future__ import annotations
@@ -33,7 +38,16 @@ import numpy as np
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.datasets import generate_adult
-from repro.frame import Column, group_missing_rates, groupby_aggregate, read_csv, write_csv
+from repro.frame import (
+    Column,
+    concat_rows,
+    group_missing_rates,
+    groupby_aggregate,
+    read_csv,
+    read_csv_chunked,
+    spill_csv,
+    write_csv,
+)
 from repro.learn import OneHotEncoder
 
 # committed next to the benchmark (benchmarks/results/ is gitignored) so
@@ -42,6 +56,9 @@ BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_frame.json")
 
 FULL_ROWS = 32561
 SMOKE_ROWS = 2000
+
+SCALE_POINTS = {"spill_100k": 100_000, "spill_1M": 1_000_000}
+SCALE_CHUNK_ROWS = 65_536
 
 
 def _encoder_input(frame, names):
@@ -113,6 +130,45 @@ def run_benchmarks(n_rows: int, repeats: int) -> dict:
     return timings
 
 
+def run_scale_benchmarks(repeats: int) -> dict:
+    """Time whole-file reads vs chunked spills at 100k/1M rows."""
+    from repro.datasets import synthesize
+
+    results = {}
+    for name, n in SCALE_POINTS.items():
+        frame, _ = synthesize("adult", n, seed=0)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "synth.csv")
+            write_csv(frame, path)
+            csv_bytes = os.path.getsize(path)
+            read_s = _time(lambda: read_csv(path), repeats)
+            store_root = os.path.join(tmp, "store")
+            spill_s = _time(
+                lambda: spill_csv(
+                    path, store_root, chunk_rows=SCALE_CHUNK_ROWS, overwrite=True
+                ),
+                repeats,
+            )
+            store = spill_csv(
+                path, store_root, chunk_rows=SCALE_CHUNK_ROWS, overwrite=True
+            )
+            # mmap reload: the payoff of spilling — reopening is ~free
+            reload_s = _time(lambda: store.frame(), repeats)
+        results[name] = {
+            "rows": n,
+            "csv_bytes": csv_bytes,
+            "chunk_rows": SCALE_CHUNK_ROWS,
+            "read_csv_s": round(read_s, 4),
+            "spill_s": round(spill_s, 4),
+            "store_reload_s": round(reload_s, 4),
+        }
+        print(
+            f"{name:12s} read_csv {read_s:8.3f}s  chunked spill {spill_s:8.3f}s  "
+            f"mmap reload {reload_s:8.4f}s"
+        )
+    return results
+
+
 def check_invariants(n_rows: int) -> None:
     """Correctness spot-checks on the benchmarked paths (CI smoke gate)."""
     frame = generate_adult(n=n_rows, seed=0)
@@ -127,6 +183,17 @@ def check_invariants(n_rows: int) -> None:
         write_csv(frame, path)
         back = read_csv(path, kinds=frame.kinds())
         assert back.equals(frame), "CSV round-trip must be lossless"
+        # the out-of-core paths are exact, not approximate: chunked
+        # batches concatenate to the whole-file read, and the spilled
+        # store reloads it column for column
+        chunked = concat_rows(
+            list(read_csv_chunked(path, chunk_rows=257, kinds=frame.kinds()))
+        )
+        assert chunked.equals(back), "chunked read drifted from read_csv"
+        store = spill_csv(
+            path, os.path.join(tmp, "store"), chunk_rows=257, kinds=frame.kinds()
+        )
+        assert store.frame().equals(back), "spilled store drifted from read_csv"
 
 
 def render(timings: dict, n_rows: int) -> str:
@@ -159,9 +226,27 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--record", choices=["baseline", "current"])
     parser.add_argument("--smoke", action="store_true", help="tiny run + invariant checks")
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="time 100k/1M-row chunked spills and record them",
+    )
     parser.add_argument("--rows", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+
+    if args.scale:
+        results = run_scale_benchmarks(args.repeats or 1)
+        data = {}
+        if os.path.exists(BENCH_JSON):
+            with open(BENCH_JSON) as handle:
+                data = json.load(handle)
+        data["scale"] = results
+        with open(BENCH_JSON, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded scale points to {BENCH_JSON}")
+        return 0
 
     n_rows = args.rows or (SMOKE_ROWS if args.smoke else FULL_ROWS)
     repeats = args.repeats or (1 if args.smoke else 3)

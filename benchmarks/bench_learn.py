@@ -10,15 +10,21 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_learn.py                    # print table
     PYTHONPATH=src python benchmarks/bench_learn.py --record baseline  # per-node argsort numbers
     PYTHONPATH=src python benchmarks/bench_learn.py --record current   # presorted-backend numbers
+    PYTHONPATH=src python benchmarks/bench_learn.py --scale            # 100k/1M histogram-vs-exact
     PYTHONPATH=src python benchmarks/bench_learn.py --smoke            # tiny CI sanity run
 
 ``--record`` merges the timings into ``benchmarks/BENCH_learn.json``
 under the given phase key and, when both phases are present, recomputes the
-per-benchmark speedup table. ``--smoke`` runs the workloads once at a small
-scale, verifies the identity invariants of the fast paths (presort hint,
-``n_jobs`` fan-out, vectorized one-vs-rest, coded confusion matrix), and
-asserts the committed speedup trajectory still meets its floors, so CI
-catches both a broken fast path and a silently regressed recording.
+per-benchmark speedup table. ``--scale`` times single deep tree fits at
+100k and 1M rows on the exact presort backend vs the histogram backend
+(in the <=256-distinct regime where both produce the identical tree) and
+records the points under the ``scale`` key. ``--smoke`` runs the
+workloads once at a small scale, verifies the identity invariants of the
+fast paths (presort hint, ``n_jobs`` fan-out, vectorized one-vs-rest,
+coded confusion matrix, histogram == exact tree in-regime), and asserts
+the committed speedup trajectory — micro and scale points — still meets
+its floors, so CI catches both a broken fast path and a silently
+regressed recording.
 """
 
 from __future__ import annotations
@@ -52,6 +58,12 @@ BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_learn.json")
 # floors enforced by --smoke against the committed trajectory: re-recording
 # a regressed implementation fails CI even though CI never times full scale
 SPEEDUP_FLOORS = {"dt_grid_fit": 3.0, "confusion_matrix": 2.0}
+
+# histogram-vs-exact floors for the committed --scale points: the whole
+# point of the histogram backend is the million-row fit
+SCALE_POINTS = {"dt_fit_100k": 100_000, "dt_fit_1M": 1_000_000}
+SCALE_FLOORS = {"dt_fit_1M": 3.0}
+SCALE_DEPTH = 8
 
 GERMANCREDIT_ROWS = 1000  # the Figure-2 tuning-grid scale
 SMOKE_ROWS = 300
@@ -144,6 +156,51 @@ def run_benchmarks(n_rows: int, repeats: int) -> dict:
     return timings
 
 
+def _scale_matrix(n: int, seed: int = 0):
+    """Synthetic (X, y) inside the histogram exactness regime.
+
+    Every feature has <= 256 distinct values and weights are unit, so the
+    exact and histogram backends must induce the identical tree — the
+    scale points time two routes to the same answer.
+    """
+    rng = np.random.default_rng(seed)
+    cards = [2, 3, 5, 8, 13, 21, 40, 64, 100, 150, 200, 256]
+    X = np.column_stack([rng.integers(0, c, n).astype(np.float64) for c in cards])
+    y = ((X[:, 0] + X[:, 6] / 40.0 + rng.normal(size=n)) > 1.0).astype(np.int64)
+    return X, y
+
+
+def run_scale_benchmarks(repeats: int) -> dict:
+    results = {}
+    for name, n in SCALE_POINTS.items():
+        X, y = _scale_matrix(n)
+        exact_s = _time(
+            lambda: DecisionTreeClassifier(max_depth=SCALE_DEPTH).fit(
+                X, y, presort="exact"
+            ),
+            repeats,
+        )
+        histogram_s = _time(
+            lambda: DecisionTreeClassifier(max_depth=SCALE_DEPTH).fit(
+                X, y, presort="histogram"
+            ),
+            repeats,
+        )
+        results[name] = {
+            "rows": n,
+            "features": X.shape[1],
+            "max_depth": SCALE_DEPTH,
+            "exact_s": round(exact_s, 4),
+            "histogram_s": round(histogram_s, 4),
+            "speedup": round(exact_s / histogram_s, 2),
+        }
+        print(
+            f"{name:12s} exact {exact_s:8.3f}s  histogram {histogram_s:8.3f}s  "
+            f"{exact_s / histogram_s:6.2f}x"
+        )
+    return results
+
+
 def check_invariants(n_rows: int) -> None:
     """Identity spot-checks on the fast paths (CI smoke gate)."""
     from repro.learn import KFold, Presort, accuracy_score, cross_val_score
@@ -202,7 +259,26 @@ def check_invariants(n_rows: int) -> None:
     )
     assert (scores <= 0).all(), "custom scoring ignored by cross_val_score"
 
-    # 6. the committed trajectory still meets its floors
+    # 6. the histogram backend reproduces the exact tree in the <=256
+    #    distinct / unit-weight regime, and auto stays exact at paper scale
+    Xh, yh = _scale_matrix(5_000)
+    exact = DecisionTreeClassifier(max_depth=SCALE_DEPTH).fit(
+        Xh, yh, presort="exact"
+    )
+    histogram = DecisionTreeClassifier(max_depth=SCALE_DEPTH).fit(
+        Xh, yh, presort="histogram"
+    )
+    assert _tree_signature(exact) == _tree_signature(histogram), (
+        "histogram splitter diverged from the exact presort tree in-regime"
+    )
+    auto = DecisionTreeClassifier(criterion="entropy", max_depth=8).fit(
+        X, y, presort="auto"
+    )
+    assert _tree_signature(auto) == _tree_signature(plain), (
+        "presort='auto' changed the tree at paper scale"
+    )
+
+    # 7. the committed trajectory still meets its floors
     if os.path.exists(BENCH_JSON):
         with open(BENCH_JSON) as handle:
             recorded = json.load(handle)
@@ -210,6 +286,12 @@ def check_invariants(n_rows: int) -> None:
             ratio = recorded.get("speedup", {}).get(name)
             assert ratio is not None and ratio >= floor, (
                 f"committed speedup for {name} is {ratio}, below the {floor}x floor"
+            )
+        for name, floor in SCALE_FLOORS.items():
+            ratio = recorded.get("scale", {}).get(name, {}).get("speedup")
+            assert ratio is not None and ratio >= floor, (
+                f"committed scale speedup for {name} is {ratio}, "
+                f"below the {floor}x histogram-vs-exact floor"
             )
 
 
@@ -256,9 +338,27 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--record", choices=["baseline", "current"])
     parser.add_argument("--smoke", action="store_true", help="tiny run + identity checks")
+    parser.add_argument(
+        "--scale",
+        action="store_true",
+        help="time 100k/1M-row histogram-vs-exact fits and record them",
+    )
     parser.add_argument("--rows", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
+
+    if args.scale:
+        results = run_scale_benchmarks(args.repeats or 1)
+        data = {}
+        if os.path.exists(BENCH_JSON):
+            with open(BENCH_JSON) as handle:
+                data = json.load(handle)
+        data["scale"] = results
+        with open(BENCH_JSON, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded scale points to {BENCH_JSON}")
+        return 0
 
     n_rows = args.rows or (SMOKE_ROWS if args.smoke else GERMANCREDIT_ROWS)
     repeats = args.repeats or (1 if args.smoke else 3)

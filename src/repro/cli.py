@@ -103,7 +103,27 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("datasets", help="list integrated datasets")
+    p_datasets = sub.add_parser(
+        "datasets", help="list integrated datasets / synthesize scaled copies"
+    )
+    dsub = p_datasets.add_subparsers(dest="datasets_command")
+    dsub.add_parser("list", help="list integrated datasets (the default)")
+    p_synth = dsub.add_parser(
+        "synth", help="inflate a dataset to production scale (stratified bootstrap)"
+    )
+    p_synth.add_argument(
+        "--dataset", default="adult", help="source dataset to inflate"
+    )
+    p_synth.add_argument(
+        "--rows", type=int, required=True, help="target row count (e.g. 1000000)"
+    )
+    p_synth.add_argument("--seed", type=int, default=0, help="resampling seed")
+    p_synth.add_argument("--out", default=None, help="write the frame as CSV here")
+    p_synth.add_argument(
+        "--store",
+        default=None,
+        help="spill the frame into a memory-mappable store directory",
+    )
 
     p_describe = sub.add_parser("describe", help="audit a generated dataset")
     _dataset_args(p_describe)
@@ -250,6 +270,8 @@ def _component_args(parser: argparse.ArgumentParser) -> None:
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "datasets":
+        if getattr(args, "datasets_command", None) == "synth":
+            return _cmd_synth(args)
         return _cmd_datasets()
     if args.command == "describe":
         return _cmd_describe(args)
@@ -279,6 +301,50 @@ def _cmd_datasets() -> int:
             ",".join(p.column for p in spec.protected_attributes),
         ])
     print(format_table(["dataset", "rows", "label", "favorable", "protected"], rows))
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from .datasets import group_label_marginals, synthesize
+    from .frame import FrameStoreWriter, write_csv
+
+    source_frame, spec = load_dataset(args.dataset)
+    synthetic, _ = synthesize(args.dataset, args.rows, seed=args.seed)
+    source = group_label_marginals(source_frame, spec)
+    scaled = group_label_marginals(synthetic, spec)
+    rows = []
+    for attribute in spec.protected_attributes:
+        a, b = source[attribute.column], scaled[attribute.column]
+        rows.append([
+            attribute.column,
+            f"{a['privileged_fraction']:.4f} -> {b['privileged_fraction']:.4f}",
+            f"{a['privileged_base_rate']:.4f} -> {b['privileged_base_rate']:.4f}",
+            f"{a['unprivileged_base_rate']:.4f} -> {b['unprivileged_base_rate']:.4f}",
+        ])
+    rows.append([
+        "(label)",
+        "",
+        f"{source['__label__']['favorable_rate']:.4f} -> "
+        f"{scaled['__label__']['favorable_rate']:.4f}",
+        "",
+    ])
+    print(
+        f"{args.dataset}: {source_frame.num_rows} -> {synthetic.num_rows} rows "
+        f"(seed {args.seed})"
+    )
+    print(
+        format_table(
+            ["protected", "priv fraction", "priv base rate", "unpriv base rate"],
+            rows,
+        )
+    )
+    if args.out:
+        write_csv(synthetic, args.out)
+        print(f"wrote {args.out}")
+    if args.store:
+        with FrameStoreWriter(args.store, overwrite=True) as writer:
+            writer.append(synthetic)
+        print(f"spilled to {args.store}")
     return 0
 
 

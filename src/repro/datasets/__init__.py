@@ -16,6 +16,7 @@ from .germancredit import GERMANCREDIT_SPEC, generate_germancredit
 from .payment import PAYMENT_SPEC, generate_payment
 from .propublica import PROPUBLICA_SPEC, generate_propublica
 from .ricci import RICCI_SPEC, generate_ricci
+from .synth import group_label_marginals, inflate, synthesize
 
 _REGISTRY = {
     "adult": (generate_adult, ADULT_SPEC),
@@ -61,5 +62,8 @@ __all__ = [
     "generate_payment",
     "generate_propublica",
     "generate_ricci",
+    "group_label_marginals",
+    "inflate",
     "load_dataset",
+    "synthesize",
 ]

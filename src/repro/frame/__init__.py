@@ -3,13 +3,15 @@
 Public API::
 
     from repro.frame import Column, DataFrame, concat_rows
-    from repro.frame import read_csv, write_csv
+    from repro.frame import read_csv, read_csv_chunked, write_csv
+    from repro.frame import FrameStore, FrameStoreWriter, spill_csv
     from repro.frame import value_counts, crosstab, describe
 """
 
 from .column import CATEGORICAL, NUMERIC, Column, concat_columns
 from .dataframe import DataFrame, concat_rows, train_validation_test_masks
-from .io import read_csv, write_csv
+from .io import read_csv, read_csv_chunked, write_csv
+from .storage import FrameStore, FrameStoreWriter, spill_csv
 from .ops import (
     MISSING_LABEL,
     correlation_matrix,
@@ -25,6 +27,8 @@ __all__ = [
     "NUMERIC",
     "Column",
     "DataFrame",
+    "FrameStore",
+    "FrameStoreWriter",
     "MISSING_LABEL",
     "concat_columns",
     "concat_rows",
@@ -34,6 +38,8 @@ __all__ = [
     "group_missing_rates",
     "groupby_aggregate",
     "read_csv",
+    "read_csv_chunked",
+    "spill_csv",
     "train_validation_test_masks",
     "value_counts",
     "write_csv",

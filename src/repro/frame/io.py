@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import csv
 import io
-from itertools import repeat
+from itertools import islice, repeat
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
@@ -137,11 +137,25 @@ def _split_plain(content: str, path: str) -> tuple:
         raise ValueError(f"{path}: empty CSV")
     header = lines[0].split(",")
     del lines[0]
+    columns = _split_plain_lines(lines, len(header), path, 0)
+    if columns is None:
+        raise ValueError(f"{path}: CSV has a header but no data rows")
+    return header, columns
+
+
+def _split_plain_lines(
+    lines: List[str], n_cols: int, path: str, row_offset: int
+) -> Optional[List[List[str]]]:
+    """Quote-free data lines into per-column field lists.
+
+    ``row_offset`` is the count of data rows consumed before these lines
+    (0 for the whole-file reader), so error messages number rows
+    globally. Returns ``None`` when the lines are all blank.
+    """
     if "" in lines:
         lines = [line for line in lines if line]
     if not lines:
-        raise ValueError(f"{path}: CSV has a header but no data rows")
-    n_cols = len(header)
+        return None
     # exact per-row field-count validation via C-level comma counting, so
     # ragged rows can never silently misalign the column slices below
     widths = list(map(str.count, lines, repeat(",")))
@@ -151,11 +165,11 @@ def _split_plain(content: str, path: str) -> tuple:
         # also filters blank rows before numbering)
         bad = next(i for i, w in enumerate(widths) if w != expected)
         raise ValueError(
-            f"{path}: row {bad + 2} has {widths[bad] + 1} fields, "
+            f"{path}: row {row_offset + bad + 2} has {widths[bad] + 1} fields, "
             f"expected {n_cols}"
         )
     flat = ",".join(lines).split(",")
-    return header, [flat[j::n_cols] for j in range(n_cols)]
+    return [flat[j::n_cols] for j in range(n_cols)]
 
 
 def _split_quoted(content: str, path: str) -> tuple:
@@ -168,13 +182,133 @@ def _split_quoted(content: str, path: str) -> tuple:
     raw_rows = [row for row in reader if row]
     if not raw_rows:
         raise ValueError(f"{path}: CSV has a header but no data rows")
-    n_cols = len(header)
+    return header, _split_quoted_rows(raw_rows, len(header), path, 0)
+
+
+def _split_quoted_rows(
+    raw_rows: List[List[str]], n_cols: int, path: str, row_offset: int
+) -> List[List[str]]:
     for i, row in enumerate(raw_rows):
         if len(row) != n_cols:
             raise ValueError(
-                f"{path}: row {i + 2} has {len(row)} fields, expected {n_cols}"
+                f"{path}: row {row_offset + i + 2} has {len(row)} fields, "
+                f"expected {n_cols}"
             )
-    return header, [[row[j] for row in raw_rows] for j in range(n_cols)]
+    return [[row[j] for row in raw_rows] for j in range(n_cols)]
+
+
+def read_csv_chunked(
+    path: str,
+    chunk_rows: int = 65536,
+    numeric_columns: Optional[Sequence[str]] = None,
+    kinds: Optional[Dict[str, str]] = None,
+):
+    """Iterate a CSV as :class:`DataFrame` batches of ≤ ``chunk_rows`` rows.
+
+    The out-of-core counterpart of :func:`read_csv`: the file is streamed
+    record by record, so peak memory is bounded by the batch size, not
+    the file size. Records are assembled with quote-parity line joining
+    (a physical line only ends a record when the cumulative ``\"`` count
+    is even), so quoted fields with embedded newlines batch correctly;
+    batches that contain quotes or ``\\r`` fall back to :mod:`csv`
+    per-batch exactly like the whole-file reader.
+
+    Column kinds not pinned by ``kinds``/``numeric_columns`` are inferred
+    from the **first batch** and pinned for the rest of the file, so
+    every batch carries identical dtypes and can be concatenated or
+    spilled column-by-column (:mod:`repro.frame.storage`). If a later
+    batch breaks a first-batch numeric inference, the error says which
+    column to pin. Rows of each batch match :func:`read_csv` of the same
+    records byte for byte.
+    """
+    if chunk_rows < 1:
+        raise ValueError(f"chunk_rows must be >= 1, got {chunk_rows}")
+    kinds = dict(kinds or {})
+    if numeric_columns:
+        for name in numeric_columns:
+            kinds.setdefault(name, NUMERIC)
+    with open(path, newline="") as handle:
+        records = _iter_records(handle)
+        try:
+            header_text = next(records)
+        except StopIteration:
+            raise ValueError(f"{path}: empty CSV") from None
+        if '"' in header_text or "\r" in header_text:
+            header = next(csv.reader(io.StringIO(header_text)))
+        else:
+            header = header_text.rstrip("\n").split(",")
+        n_cols = len(header)
+        row_offset = 0
+        first = True
+        while True:
+            batch = list(islice(records, chunk_rows))
+            if not batch:
+                break
+            columns = _split_records(batch, n_cols, path, row_offset)
+            if columns is None:  # the batch held only blank lines
+                continue
+            if first:
+                for name, fields in zip(header, columns):
+                    if name not in kinds:
+                        kinds[name] = (
+                            NUMERIC if _all_parse_as_float(fields) else CATEGORICAL
+                        )
+                first = False
+            yield DataFrame(
+                [
+                    _build_chunk_column(name, fields, kinds[name], path)
+                    for name, fields in zip(header, columns)
+                ]
+            )
+            row_offset += len(columns[0])
+        if first:
+            raise ValueError(f"{path}: CSV has a header but no data rows")
+
+
+def _iter_records(handle):
+    """Yield logical CSV records (with line endings) from a text stream.
+
+    A physical line ends a record only when the quote count so far is
+    even — inside an open quoted field, the newline belongs to the field
+    and the next physical line continues the same record.
+    """
+    pending: List[str] = []
+    quotes = 0
+    for line in handle:
+        quotes += line.count('"')
+        pending.append(line)
+        if quotes % 2 == 0:
+            yield "".join(pending) if len(pending) > 1 else pending[0]
+            pending.clear()
+            quotes = 0
+    if pending:  # unterminated quote at EOF: surface it to csv.reader
+        yield "".join(pending)
+
+
+def _split_records(
+    records: List[str], n_cols: int, path: str, row_offset: int
+) -> Optional[List[List[str]]]:
+    """One batch of logical records into per-column field lists."""
+    content = "".join(records)
+    if '"' not in content and "\r" not in content:
+        lines = content.split("\n")
+        while lines and lines[-1] == "":
+            lines.pop()
+        return _split_plain_lines(lines, n_cols, path, row_offset)
+    raw_rows = [row for row in csv.reader(io.StringIO(content)) if row]
+    if not raw_rows:
+        return None
+    return _split_quoted_rows(raw_rows, n_cols, path, row_offset)
+
+
+def _build_chunk_column(name: str, fields: List[str], kind: str, path: str) -> Column:
+    try:
+        return _build_column(name, fields, kind, path)
+    except ValueError as exc:
+        raise ValueError(
+            f"{exc} (column kinds are pinned from the first chunk; pass "
+            f"kinds={{{name!r}: 'categorical'}} to override the inference)"
+        ) from None
 
 
 def _build_column(

@@ -38,6 +38,7 @@ from .model_selection import (
     cross_val_score,
     train_test_split,
 )
+from .histogram import HistogramBinning, HistogramSplitter
 from .naive_bayes import GaussianNB
 from .neighbors import KNeighborsClassifier, nearest_neighbor_indices
 from .pipeline import Pipeline, make_pipeline
@@ -60,6 +61,8 @@ __all__ = [
     "FrequencyEncoder",
     "GaussianNB",
     "GridSearchCV",
+    "HistogramBinning",
+    "HistogramSplitter",
     "KFold",
     "KNeighborsClassifier",
     "LabelEncoder",

@@ -19,7 +19,7 @@ import numpy as np
 from ..parallel import run_groups, split_for_balance
 from .base import BaseEstimator, clone, supports_fit_param
 from .metrics import accuracy_score
-from .splitter import Presort
+from .tree import presort_hint
 
 
 class KFold:
@@ -150,7 +150,7 @@ def _score_fold_chunk(context: _SearchContext, task) -> List[float]:
     template = context.estimator
     hints = {}
     if supports_fit_param(template, "presort"):
-        hints["presort"] = Presort(X_train)
+        hints["presort"] = presort_hint(X_train)
     params_list = [context.candidates[i] for i in candidate_ids]
     if hasattr(type(template), "fit_candidates"):
         models = template.fit_candidates(
@@ -325,7 +325,7 @@ def cross_val_score(
         X_train = X[train_idx]
         fit_kwargs = {}
         if use_presort:
-            fit_kwargs["presort"] = Presort(X_train)
+            fit_kwargs["presort"] = presort_hint(X_train)
         if sample_weight is not None:
             fit_kwargs["sample_weight"] = np.asarray(sample_weight)[train_idx]
         model.fit(X_train, y[train_idx], **fit_kwargs)

@@ -118,6 +118,15 @@ class PresortSplitter:
     def root_order(self) -> np.ndarray:
         return self._root_order
 
+    def root_context(self) -> np.ndarray:
+        """Recursion state of the root node (the full order matrix).
+
+        Both split backends expose ``root_context``/``partition`` with
+        an opaque per-node context; here the context is the presorted
+        ``(d, n)`` order matrix.
+        """
+        return self._root_order
+
     def node_distribution(self, indices):
         """Class-weight vector of a node (the leaf distribution).
 
@@ -275,12 +284,14 @@ class PresortSplitter:
     # ------------------------------------------------------------------
     # recursion state
     # ------------------------------------------------------------------
-    def partition(self, order, left_indices):
+    def partition(self, order, left_indices, right_indices=None):
         """Split a node's sorted order by membership, preserving order.
 
         Boolean compression is stable, so each child's per-feature order
         is exactly what re-argsorting the child would produce (mergesort
-        ties resolve to ascending row ids in both).
+        ties resolve to ascending row ids in both). ``right_indices`` is
+        part of the shared backend signature but unused here — the right
+        order falls out of the same membership mask.
         """
         member = self._member
         member[left_indices] = True

@@ -5,12 +5,23 @@ feature rescaling, which is exactly the property Figure 3(b) demonstrates;
 our implementation preserves it because split quality depends only on the
 ordering of feature values.
 
-Split search runs on the presorted backend (:mod:`repro.learn.splitter`):
-the per-feature sort order is computed once per fit — or supplied by the
-caller through the ``fit(..., presort=...)`` hint, which grid search uses
-to share one presort per cross-validation fold across every tuning
-candidate — and maintained through the recursion by stable partition
-instead of re-argsorting at every node.
+Split search runs on one of two interchangeable backends selected by the
+``fit(..., presort=...)`` hint:
+
+* the exact presorted backend (:mod:`repro.learn.splitter`): per-feature
+  sort order computed once per fit — or supplied by the caller, which
+  grid search uses to share one presort per cross-validation fold across
+  every tuning candidate — and maintained through the recursion by
+  stable partition instead of re-argsorting at every node;
+* the histogram backend (:mod:`repro.learn.histogram`): features binned
+  once per fit into ≤256 uint8 codes, per-node class-count histograms
+  accumulated with ``bincount`` and siblings derived by subtraction, so
+  per-node candidate scoring is O(n_bins) per feature instead of O(n).
+
+``presort="auto"`` (the default) picks histogram at or above
+:data:`HISTOGRAM_AUTO_THRESHOLD` rows and exact presort below it, so
+paper-scale fits stay byte-identical to the seed implementation while
+million-row fits get the bounded-work path.
 """
 
 from __future__ import annotations
@@ -28,9 +39,28 @@ from .base import (
     check_sample_weight,
     clone,
 )
+from .histogram import HistogramBinning, HistogramSplitter
 from .splitter import Presort, PresortSplitter
 
 _CRITERIA = ("gini", "entropy")
+
+#: Row count at which ``presort="auto"`` switches from the exact presort
+#: backend to the histogram backend. All four paper datasets (≤33k rows)
+#: sit far below it, so default fits on them are unchanged node-for-node.
+HISTOGRAM_AUTO_THRESHOLD = 65536
+
+
+def presort_hint(X):
+    """Shareable fit-context hint matching what ``presort="auto"`` picks.
+
+    Cross-validation builds this once per fold and passes it to every
+    tuning candidate: a :class:`Presort` below the auto threshold, a
+    :class:`HistogramBinning` at or above it — so fold-major grid search
+    keeps its shared-preparation win on both backends.
+    """
+    if X.shape[0] >= HISTOGRAM_AUTO_THRESHOLD:
+        return HistogramBinning(X)
+    return Presort(X)
 
 
 class _Node:
@@ -79,12 +109,22 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
     # fitting
     # ------------------------------------------------------------------
     def fit(
-        self, X, y, sample_weight=None, presort: Optional[Presort] = None
+        self, X, y, sample_weight=None, presort="auto"
     ) -> "DecisionTreeClassifier":
-        """Fit the tree; ``presort`` is an optional fit-context hint.
+        """Fit the tree; ``presort`` selects/hints the split backend.
 
-        A :class:`~repro.learn.splitter.Presort` built for this exact
-        ``X`` skips the once-per-fit argsort; anything else is ignored.
+        Accepted values:
+
+        * ``"auto"`` (default) or ``None`` — exact presort below
+          :data:`HISTOGRAM_AUTO_THRESHOLD` rows, histogram at or above;
+        * ``"exact"`` / ``"histogram"`` — force a backend;
+        * a :class:`~repro.learn.splitter.Presort` built for this exact
+          ``X`` — use the exact backend and skip its once-per-fit
+          argsort (the grid-search fold hint); a stale hint degrades to
+          a fresh argsort, never a wrong tree;
+        * a :class:`~repro.learn.histogram.HistogramBinning` for this
+          exact ``X`` — use the histogram backend and skip its
+          once-per-fit binning.
         """
         if self.criterion not in _CRITERIA:
             raise ValueError(
@@ -101,22 +141,51 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         self.n_features_ = X.shape[1]
         onehot = np.zeros((X.shape[0], len(self.classes_)))
         onehot[np.arange(X.shape[0]), y_codes] = sample_weight
-        splitter = PresortSplitter(
-            X, onehot, self.criterion, self.min_samples_leaf, presort=presort
-        )
+        splitter = self._make_splitter(X, onehot, presort)
         self.tree_ = self._grow(X, onehot, splitter)
         self.depth_ = _tree_depth(self.tree_)
         self.n_leaves_ = _count_leaves(self.tree_)
         return self
 
-    def _grow(self, X, onehot, splitter: PresortSplitter) -> _Node:
+    def _make_splitter(self, X, onehot, presort):
+        """Resolve the ``presort`` hint to a split backend (see ``fit``)."""
+        mode, hint = presort, None
+        if isinstance(presort, Presort):
+            mode, hint = "exact", presort
+        elif isinstance(presort, HistogramBinning):
+            mode, hint = "histogram", presort
+        elif presort is None:
+            mode = "auto"
+        if mode == "auto":
+            mode = (
+                "histogram" if X.shape[0] >= HISTOGRAM_AUTO_THRESHOLD else "exact"
+            )
+        if mode == "exact":
+            return PresortSplitter(
+                X, onehot, self.criterion, self.min_samples_leaf, presort=hint
+            )
+        if mode == "histogram":
+            return HistogramSplitter(
+                X, onehot, self.criterion, self.min_samples_leaf, binning=hint
+            )
+        raise ValueError(
+            "presort must be 'auto', 'exact', 'histogram', a Presort, or a "
+            f"HistogramBinning, got {presort!r}"
+        )
+
+    def _grow(self, X, onehot, splitter) -> _Node:
         """Build the tree with an explicit stack (deep trees can exceed
-        the interpreter recursion limit on larger resamples)."""
+        the interpreter recursion limit on larger resamples).
+
+        ``splitter`` is either backend; the per-node recursion state
+        (``context``) is opaque — the presorted order matrix for the
+        exact backend, class-count histograms for the histogram one.
+        """
         binary = onehot.shape[1] == 2
         root: Optional[_Node] = None
-        stack = [(np.arange(X.shape[0]), splitter.root_order(), 0, None, "")]
+        stack = [(np.arange(X.shape[0]), splitter.root_context(), 0, None, "")]
         while stack:
-            indices, order, depth, parent, side = stack.pop()
+            indices, context, depth, parent, side = stack.pop()
             class_weights, sub = splitter.node_distribution(indices)
             node = _Node(distribution=class_weights, n_samples=len(indices))
             if parent is None:
@@ -130,9 +199,9 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             ):
                 continue
             if binary:
-                split = splitter.best_split_binary(indices, order, sub, class_weights)
+                split = splitter.best_split_binary(indices, context, sub, class_weights)
             else:
-                split = splitter.best_split_general(indices, order, class_weights)
+                split = splitter.best_split_general(indices, context, class_weights)
             if split is None:
                 continue
             feature, threshold, gain = split
@@ -141,11 +210,13 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             go_left = X[indices, feature] <= threshold
             left_indices = indices[go_left]
             right_indices = indices[~go_left]
-            left_order, right_order = splitter.partition(order, left_indices)
+            left_context, right_context = splitter.partition(
+                context, left_indices, right_indices
+            )
             node.feature = feature
             node.threshold = threshold
-            stack.append((right_indices, right_order, depth + 1, node, "right"))
-            stack.append((left_indices, left_order, depth + 1, node, "left"))
+            stack.append((right_indices, right_context, depth + 1, node, "right"))
+            stack.append((left_indices, left_context, depth + 1, node, "left"))
         return root
 
     def fit_candidates(
@@ -154,7 +225,7 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         X,
         y,
         sample_weight=None,
-        presort: Optional[Presort] = None,
+        presort="auto",
     ):
         """Fit one tree per parameter dict, sharing work across the family.
 

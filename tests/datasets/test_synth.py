@@ -1,0 +1,156 @@
+"""Scaled synthetic inflation: determinism and preserved fairness joints.
+
+``inflate`` promises that a stratified bootstrap to any target size keeps
+exactly the statistics the fairness metrics read — per-protected-group
+fractions, group base rates, and the label marginal — within the ±1-row
+rounding of largest-remainder allocation, and that the same
+``(name, n_rows, seed)`` always yields the identical frame.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.datasets import (
+    group_label_marginals,
+    inflate,
+    load_dataset,
+    synthesize,
+)
+from repro.datasets.synth import _cell_ids, _largest_remainder
+from repro.frame import read_csv
+
+
+def flatten_marginals(report):
+    out = {}
+    for group, stats in report.items():
+        for key, value in stats.items():
+            out[f"{group}.{key}"] = value
+    return out
+
+
+class TestInflate:
+    @pytest.mark.parametrize("name", ["propublica", "ricci"])
+    def test_marginals_preserved_within_half_percent(self, name):
+        frame, spec = load_dataset(name)
+        synthetic = inflate(frame, spec, 50_000, seed=3)
+        assert synthetic.num_rows == 50_000
+        source = flatten_marginals(group_label_marginals(frame, spec))
+        scaled = flatten_marginals(group_label_marginals(synthetic, spec))
+        for key, value in source.items():
+            assert scaled[key] == pytest.approx(value, abs=0.005), key
+
+    def test_joint_cells_preserved_not_just_marginals(self):
+        # stronger than the acceptance criterion: the full joint of
+        # (protected bits x label) matches the source distribution
+        frame, spec = load_dataset("propublica", n=800)
+        synthetic = inflate(frame, spec, 40_000, seed=1)
+        source_cells = _cell_ids(frame, spec)
+        synth_cells = _cell_ids(synthetic, spec)
+        n_cells = int(source_cells.max()) + 1
+        source_p = np.bincount(source_cells, minlength=n_cells) / frame.num_rows
+        synth_p = np.bincount(synth_cells, minlength=n_cells) / 40_000
+        np.testing.assert_allclose(synth_p, source_p, atol=0.005)
+
+    def test_same_seed_same_frame(self):
+        a, _ = synthesize("ricci", 5_000, seed=7)
+        b, _ = synthesize("ricci", 5_000, seed=7)
+        assert a.equals(b)
+
+    def test_different_seed_different_frame(self):
+        a, _ = synthesize("ricci", 5_000, seed=7)
+        b, _ = synthesize("ricci", 5_000, seed=8)
+        assert not a.equals(b)
+
+    def test_rows_are_real_source_rows(self):
+        # every synthetic row is a bootstrap copy of a source row, so
+        # categorical tables and numeric supports cannot grow
+        frame, spec = load_dataset("ricci")
+        synthetic = inflate(frame, spec, 2_000, seed=0)
+        for name in frame.columns:
+            a, b = frame.col(name), synthetic.col(name)
+            if a.is_numeric:
+                source_values = set(a.values[~np.isnan(a.values)])
+                synth_values = set(b.values[~np.isnan(b.values)])
+                assert synth_values <= source_values
+            else:
+                assert set(b.decoded()) <= set(a.decoded())
+
+    def test_validation_errors(self):
+        frame, spec = load_dataset("ricci")
+        with pytest.raises(ValueError, match="n_rows"):
+            inflate(frame, spec, 0)
+        with pytest.raises(ValueError, match="empty"):
+            inflate(frame.take(np.array([], dtype=np.int64)), spec, 10)
+
+    def test_deflation_also_works(self):
+        # target smaller than the source: still proportional, still exact
+        frame, spec = load_dataset("propublica", n=2_000)
+        small = inflate(frame, spec, 200, seed=5)
+        assert small.num_rows == 200
+
+
+class TestLargestRemainder:
+    def test_sums_to_total_exactly(self):
+        counts = np.array([3, 1, 7, 2, 0, 11])
+        for total in (1, 13, 100, 999_983):
+            allocated = _largest_remainder(counts, total)
+            assert int(allocated.sum()) == total
+
+    def test_empty_cells_get_nothing(self):
+        counts = np.array([5, 0, 5, 0])
+        allocated = _largest_remainder(counts, 1_000_001)
+        assert allocated[1] == 0 and allocated[3] == 0
+
+    def test_proportionality_within_one(self):
+        counts = np.array([10, 20, 30, 40])
+        allocated = _largest_remainder(counts, 1_000)
+        np.testing.assert_array_equal(allocated, [100, 200, 300, 400])
+        skewed = _largest_remainder(counts, 7)
+        quotas = counts * (7 / counts.sum())
+        assert np.all(np.abs(allocated - counts * 10) <= 1)
+        assert np.all(np.abs(skewed - quotas) <= 1)
+
+    def test_deterministic_tie_break(self):
+        counts = np.array([1, 1, 1, 1])
+        np.testing.assert_array_equal(
+            _largest_remainder(counts, 6), [2, 2, 1, 1]
+        )
+
+
+class TestSynthCli:
+    def test_cli_writes_deterministic_csv(self, tmp_path, capsys):
+        out_a = os.path.join(tmp_path, "a.csv")
+        out_b = os.path.join(tmp_path, "b.csv")
+        argv = ["datasets", "synth", "--dataset", "ricci", "--rows", "3000",
+                "--seed", "7"]
+        assert main(argv + ["--out", out_a]) == 0
+        assert main(argv + ["--out", out_b]) == 0
+        with open(out_a, "rb") as a, open(out_b, "rb") as b:
+            assert a.read() == b.read()
+        printed = capsys.readouterr().out
+        assert "ricci" in printed and "3000 rows" in printed
+
+    def test_cli_spills_a_loadable_store(self, tmp_path):
+        from repro.frame import FrameStore
+
+        store_root = os.path.join(tmp_path, "store")
+        csv_path = os.path.join(tmp_path, "synth.csv")
+        assert main([
+            "datasets", "synth", "--dataset", "ricci", "--rows", "2000",
+            "--seed", "1", "--out", csv_path, "--store", store_root,
+        ]) == 0
+        store = FrameStore.open(store_root)
+        assert store.n_rows == 2_000
+        assert store.frame().equals(read_csv(csv_path))
+
+    def test_bare_datasets_command_still_lists(self, capsys):
+        assert main(["datasets"]) == 0
+        printed = capsys.readouterr().out
+        assert "adult" in printed and "ricci" in printed
+
+    def test_datasets_list_subcommand(self, capsys):
+        assert main(["datasets", "list"]) == 0
+        assert "germancredit" in capsys.readouterr().out

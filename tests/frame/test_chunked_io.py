@@ -1,0 +1,183 @@
+"""Chunked CSV reader: batch-wise reads must equal the whole-file read.
+
+``read_csv_chunked`` promises that concatenating its batches reproduces
+``read_csv`` exactly — same column kinds, same category tables, same
+missing sentinels (NaN / code ``-1``) — on both the quote-free fast path
+and the csv-module fallback, with kinds pinned from the first batch.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.frame import (
+    CATEGORICAL,
+    NUMERIC,
+    Column,
+    DataFrame,
+    concat_rows,
+    read_csv,
+    read_csv_chunked,
+    write_csv,
+)
+
+
+def roundtrip_frame(tmp_path, frame, chunk_rows, **kwargs):
+    path = os.path.join(tmp_path, "frame.csv")
+    write_csv(frame, path)
+    whole = read_csv(path, **kwargs)
+    batches = list(read_csv_chunked(path, chunk_rows=chunk_rows, **kwargs))
+    return whole, batches
+
+
+def mixed_frame(n=997, seed=3):
+    rng = np.random.default_rng(seed)
+    age = rng.integers(18, 90, n).astype(float)
+    age[rng.random(n) < 0.1] = np.nan
+    score = np.round(rng.normal(size=n), 3)
+    city_pool = ["amsterdam", "berlin", "cairo", "delhi", ""]
+    city = [city_pool[i] for i in rng.integers(0, len(city_pool), n)]
+    return DataFrame([
+        Column.numeric("age", age),
+        Column.numeric("score", score),
+        Column.categorical("city", city),
+    ])
+
+
+class TestChunkedRoundTrip:
+    @pytest.mark.parametrize("chunk_rows", [1, 7, 100, 10_000])
+    def test_batches_concat_to_whole_read(self, tmp_path, chunk_rows):
+        whole, batches = roundtrip_frame(tmp_path, mixed_frame(), chunk_rows)
+        expected = -(-whole.num_rows // min(chunk_rows, whole.num_rows))
+        assert len(batches) == expected
+        assert all(batch.num_rows <= chunk_rows for batch in batches)
+        assert concat_rows(batches).equals(whole)
+
+    def test_batches_share_kinds_and_missing_sentinels(self, tmp_path):
+        whole, batches = roundtrip_frame(tmp_path, mixed_frame(), 100)
+        for batch in batches:
+            assert batch.columns == whole.columns
+            for name in batch.columns:
+                assert batch.col(name).kind == whole.col(name).kind
+        # numeric missing is NaN, categorical missing is code -1, in
+        # exactly the rows the whole-file read marks
+        recon = concat_rows(batches)
+        np.testing.assert_array_equal(
+            recon.col("age").missing_mask(), whole.col("age").missing_mask()
+        )
+        np.testing.assert_array_equal(
+            recon.col("city").codes == -1, whole.col("city").codes == -1
+        )
+
+    def test_per_batch_category_tables_are_local_but_decode_equal(self, tmp_path):
+        # a batch only dictionary-encodes the categories it saw; the
+        # *decoded* values must still agree with the whole-file read
+        whole, batches = roundtrip_frame(tmp_path, mixed_frame(), 50)
+        start = 0
+        decoded_whole = whole.col("city").decoded()
+        for batch in batches:
+            decoded = batch.col("city").decoded()
+            np.testing.assert_array_equal(
+                decoded, decoded_whole[start : start + batch.num_rows]
+            )
+            start += batch.num_rows
+
+    def test_quote_fallback_with_embedded_newlines(self, tmp_path):
+        tricky = ["a,b", "line1\nline2", 'quo"te', "plain", "end,"] * 101
+        frame = DataFrame([
+            Column.categorical("tricky", tricky),
+            Column.numeric("x", np.arange(len(tricky), dtype=float)),
+        ])
+        whole, batches = roundtrip_frame(tmp_path, frame, 37)
+        assert concat_rows(batches).equals(whole)
+
+    def test_quoted_header_and_crlf(self, tmp_path):
+        path = os.path.join(tmp_path, "crlf.csv")
+        with open(path, "w", newline="") as handle:
+            handle.write('"name,full",value\r\na,1\r\nb,2\r\n')
+        whole = read_csv(path)
+        batches = list(read_csv_chunked(path, chunk_rows=1))
+        assert concat_rows(batches).equals(whole)
+        assert whole.columns == ["name,full", "value"]
+
+    def test_blank_lines_are_skipped_like_read_csv(self, tmp_path):
+        path = os.path.join(tmp_path, "blanks.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,x\n\n2,y\n\n\n3,z\n")
+        whole = read_csv(path)
+        recon = concat_rows(list(read_csv_chunked(path, chunk_rows=2)))
+        assert recon.equals(whole)
+        assert recon.num_rows == 3
+
+
+class TestKindPinning:
+    def test_first_chunk_inference_pins_later_chunks(self, tmp_path):
+        # "1"/"2" in the first batch parse as floats, but the column
+        # must stay categorical if pinned explicitly
+        path = os.path.join(tmp_path, "pin.csv")
+        with open(path, "w") as handle:
+            handle.write("code,x\n" + "".join(f"{i},{i}\n" for i in range(10)))
+        inferred = concat_rows(list(read_csv_chunked(path, chunk_rows=3)))
+        assert inferred.col("code").kind == NUMERIC
+        pinned = concat_rows(
+            list(read_csv_chunked(path, chunk_rows=3, kinds={"code": CATEGORICAL}))
+        )
+        assert pinned.col("code").kind == CATEGORICAL
+        assert read_csv(path, kinds={"code": CATEGORICAL}).equals(pinned)
+
+    def test_numeric_columns_parameter(self, tmp_path):
+        path = os.path.join(tmp_path, "numcols.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n1,x\n2,y\n3,z\n")
+        recon = concat_rows(
+            list(read_csv_chunked(path, chunk_rows=2, numeric_columns=["a"]))
+        )
+        assert recon.col("a").kind == NUMERIC
+
+    def test_late_chunk_breaking_inference_names_the_fix(self, tmp_path):
+        # the first batch is all-numeric, a later batch holds a string:
+        # whole-file inference would have made the column categorical,
+        # chunked inference pinned numeric — the error says what to pass
+        path = os.path.join(tmp_path, "drift.csv")
+        with open(path, "w") as handle:
+            handle.write("v\n" + "".join(f"{i}\n" for i in range(50)) + "oops\n")
+        with pytest.raises(ValueError, match="kinds=\\{'v': 'categorical'\\}"):
+            list(read_csv_chunked(path, chunk_rows=10))
+        fixed = concat_rows(
+            list(read_csv_chunked(path, chunk_rows=10, kinds={"v": CATEGORICAL}))
+        )
+        assert fixed.equals(read_csv(path))
+
+
+class TestChunkedErrors:
+    def test_empty_file(self, tmp_path):
+        path = os.path.join(tmp_path, "empty.csv")
+        open(path, "w").close()
+        with pytest.raises(ValueError, match="empty CSV"):
+            list(read_csv_chunked(path))
+
+    def test_header_only(self, tmp_path):
+        path = os.path.join(tmp_path, "header.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n")
+        with pytest.raises(ValueError, match="no data rows"):
+            list(read_csv_chunked(path))
+
+    def test_ragged_row_numbered_globally(self, tmp_path):
+        path = os.path.join(tmp_path, "ragged.csv")
+        with open(path, "w") as handle:
+            handle.write("a,b\n" + "".join(f"{i},{i}\n" for i in range(10)))
+            handle.write("too,many,fields\n")
+        # data row 11 -> file row 12, regardless of which batch held it
+        with pytest.raises(ValueError, match="row 12"):
+            list(read_csv_chunked(path, chunk_rows=4))
+        with pytest.raises(ValueError, match="row 12"):
+            read_csv(path)
+
+    def test_chunk_rows_validated(self, tmp_path):
+        path = os.path.join(tmp_path, "x.csv")
+        with open(path, "w") as handle:
+            handle.write("a\n1\n")
+        with pytest.raises(ValueError, match="chunk_rows"):
+            list(read_csv_chunked(path, chunk_rows=0))

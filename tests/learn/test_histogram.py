@@ -1,0 +1,272 @@
+"""Histogram splitter: node-for-node identity below bin degeneracy.
+
+The histogram backend promises *exactness* in the regime where binning
+loses nothing: every feature has at most 256 distinct values and sample
+weights are unit. There the bins are the distinct values, the per-bin
+class counts are the same exact integers the presort backend cumsums in
+sorted order, and the resulting trees must match node for node — the
+same promise the presort backend makes against the seed implementation,
+extended one more hop. These tests pin that with a hypothesis property
+suite and with golden ``presort="auto"`` runs on all four paper
+datasets; outside the regime they pin determinism and sane structure.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.learn import (
+    DecisionTreeClassifier,
+    HistogramBinning,
+    HistogramSplitter,
+    Presort,
+)
+from repro.learn.tree import HISTOGRAM_AUTO_THRESHOLD, presort_hint
+from repro.learn.splitter import PresortSplitter
+
+from .reference_impl import ReferenceDecisionTree
+from .test_splitter_golden import DATASETS, featurized, tree_signature
+
+
+def fit_pair(X, y, sample_weight=None, **params):
+    exact = DecisionTreeClassifier(**params).fit(
+        X, y, sample_weight=sample_weight, presort="exact"
+    )
+    histogram = DecisionTreeClassifier(**params).fit(
+        X, y, sample_weight=sample_weight, presort="histogram"
+    )
+    return exact, histogram
+
+
+# ----------------------------------------------------------------------
+# hypothesis property: identity below the bin-degeneracy regime
+# ----------------------------------------------------------------------
+matrix_strategy = st.builds(
+    lambda rows, cardinalities, seed: (
+        np.random.default_rng(seed)
+        .integers(0, cardinalities, size=(rows, len(cardinalities)))
+        .astype(np.float64),
+        seed,
+    ),
+    rows=st.integers(min_value=2, max_value=120),
+    cardinalities=st.lists(
+        st.integers(min_value=1, max_value=40), min_size=1, max_size=6
+    ),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestHypothesisIdentity:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        data=matrix_strategy,
+        criterion=st.sampled_from(["gini", "entropy"]),
+        min_leaf=st.integers(min_value=1, max_value=5),
+        n_classes=st.integers(min_value=2, max_value=4),
+    )
+    def test_histogram_equals_presort(self, data, criterion, min_leaf, n_classes):
+        X, seed = data
+        y = np.random.default_rng(seed + 1).integers(0, n_classes, len(X))
+        exact, histogram = fit_pair(
+            X, y, criterion=criterion, min_samples_leaf=min_leaf
+        )
+        assert tree_signature(exact) == tree_signature(histogram)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=matrix_strategy, depth=st.integers(min_value=1, max_value=6))
+    def test_identity_survives_depth_limits(self, data, depth):
+        X, seed = data
+        y = np.random.default_rng(seed + 2).integers(0, 2, len(X))
+        exact, histogram = fit_pair(X, y, max_depth=depth)
+        assert tree_signature(exact) == tree_signature(histogram)
+
+    @settings(max_examples=25, deadline=None)
+    @given(data=matrix_strategy)
+    def test_negative_and_fractional_values(self, data):
+        # distinct-value bins are about cardinality, not integrality
+        X, seed = data
+        X = (X - 3.0) * 0.37
+        y = np.random.default_rng(seed + 3).integers(0, 2, len(X))
+        exact, histogram = fit_pair(X, y)
+        assert tree_signature(exact) == tree_signature(histogram)
+
+
+# ----------------------------------------------------------------------
+# golden: presort="auto" on the paper datasets is byte-identical to seed
+# ----------------------------------------------------------------------
+class TestGoldenAuto:
+    @pytest.mark.parametrize("dataset,n_rows", DATASETS)
+    def test_auto_matches_seed_trees(self, dataset, n_rows):
+        X, y, weights = featurized(dataset, n_rows)
+        assert len(X) < HISTOGRAM_AUTO_THRESHOLD  # paper scale stays exact
+        for params in (
+            {},
+            {"criterion": "entropy", "max_depth": 10, "min_samples_leaf": 10},
+        ):
+            auto = DecisionTreeClassifier(**params).fit(
+                X, y, sample_weight=weights, presort="auto"
+            )
+            seed = ReferenceDecisionTree(**params).fit(X, y, sample_weight=weights)
+            assert tree_signature(auto) == tree_signature(seed)
+
+    @pytest.mark.parametrize("dataset,n_rows", [("propublica", 600), ("ricci", None)])
+    def test_histogram_matches_seed_trees_in_regime(self, dataset, n_rows):
+        # stronger than the auto guarantee: these two featurized matrices
+        # have <= 256 distinct values per feature, so even *forcing* the
+        # histogram backend reproduces the seed (adult/germancredit carry
+        # near-continuous numerics and rely on the auto fallback instead)
+        X, y, weights = featurized(dataset, n_rows)
+        assert max(len(np.unique(X[:, j])) for j in range(X.shape[1])) <= 256
+        model = DecisionTreeClassifier(max_depth=10).fit(
+            X, y, sample_weight=weights, presort="histogram"
+        )
+        seed = ReferenceDecisionTree(max_depth=10).fit(X, y, sample_weight=weights)
+        assert tree_signature(model) == tree_signature(seed)
+
+
+# ----------------------------------------------------------------------
+# dispatch, hints, and the sketch regime
+# ----------------------------------------------------------------------
+def small_problem(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    X = np.column_stack([
+        rng.integers(0, 2, n).astype(float),
+        rng.integers(0, 9, n).astype(float),
+        rng.integers(0, 40, n).astype(float),
+    ])
+    y = rng.integers(0, 2, n)
+    return X, y
+
+
+class TestDispatch:
+    def test_auto_picks_exact_below_threshold(self):
+        X, y = small_problem()
+        model = DecisionTreeClassifier()
+        onehot = np.zeros((len(y), 2))
+        onehot[np.arange(len(y)), y] = 1.0
+        assert isinstance(
+            model._make_splitter(X, onehot, "auto"), PresortSplitter
+        )
+        assert isinstance(
+            model._make_splitter(X, onehot, None), PresortSplitter
+        )
+
+    def test_auto_picks_histogram_above_threshold(self, monkeypatch):
+        monkeypatch.setattr("repro.learn.tree.HISTOGRAM_AUTO_THRESHOLD", 100)
+        X, y = small_problem()
+        model = DecisionTreeClassifier()
+        onehot = np.zeros((len(y), 2))
+        onehot[np.arange(len(y)), y] = 1.0
+        assert isinstance(
+            model._make_splitter(X, onehot, "auto"), HistogramSplitter
+        )
+
+    def test_hint_objects_select_their_backend(self):
+        X, y = small_problem()
+        model = DecisionTreeClassifier()
+        onehot = np.zeros((len(y), 2))
+        onehot[np.arange(len(y)), y] = 1.0
+        exact = model._make_splitter(X, onehot, Presort(X))
+        assert isinstance(exact, PresortSplitter)
+        binning = HistogramBinning(X)
+        histogram = model._make_splitter(X, onehot, binning)
+        assert isinstance(histogram, HistogramSplitter)
+        assert histogram._binning is binning
+
+    def test_stale_binning_hint_degrades_to_fresh_binning(self):
+        X, y = small_problem()
+        stale = HistogramBinning(np.ascontiguousarray(X[:100]))
+        model = DecisionTreeClassifier(max_depth=4).fit(X, y, presort=stale)
+        fresh = DecisionTreeClassifier(max_depth=4).fit(X, y, presort="histogram")
+        assert tree_signature(model) == tree_signature(fresh)
+
+    def test_invalid_presort_value_rejected(self):
+        X, y = small_problem()
+        with pytest.raises(ValueError, match="presort must be"):
+            DecisionTreeClassifier().fit(X, y, presort="sometimes")
+
+    def test_presort_hint_matches_auto_choice(self, monkeypatch):
+        X, _ = small_problem()
+        assert isinstance(presort_hint(X), Presort)
+        monkeypatch.setattr("repro.learn.tree.HISTOGRAM_AUTO_THRESHOLD", 100)
+        assert isinstance(presort_hint(X), HistogramBinning)
+
+    def test_fit_candidates_accepts_histogram_backend(self):
+        X, y = small_problem()
+        template = DecisionTreeClassifier()
+        candidates = [{"max_depth": 2}, {"max_depth": 5}]
+        family = template.fit_candidates(candidates, X, y, presort="histogram")
+        for params, model in zip(candidates, family):
+            solo = DecisionTreeClassifier(**params).fit(X, y, presort="histogram")
+            assert tree_signature(model) == tree_signature(solo)
+
+
+class TestSketchRegime:
+    def test_binning_caps_at_256_bins(self):
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(4000, 3))
+        binning = HistogramBinning(X)
+        assert binning.codes.dtype == np.uint8
+        assert int(binning.n_bins.max()) <= 256
+        # every row's code is consistent with its bin's bounds
+        for j in range(3):
+            codes = binning.codes[j]
+            assert np.all(X[:, j] <= binning.upper[j][codes])
+            assert np.all(X[:, j] >= binning.lower[j][codes])
+
+    def test_dense_features_fit_deterministically(self):
+        rng = np.random.default_rng(6)
+        X = np.column_stack([rng.normal(size=3000), rng.uniform(size=3000)])
+        y = (X[:, 0] + rng.normal(scale=0.3, size=3000) > 0).astype(int)
+        a = DecisionTreeClassifier(max_depth=6).fit(X, y, presort="histogram")
+        b = DecisionTreeClassifier(max_depth=6).fit(X, y, presort="histogram")
+        assert tree_signature(a) == tree_signature(b)
+        # the sketch loses thresholds, not signal: both backends separate
+        exact = DecisionTreeClassifier(max_depth=6).fit(X, y, presort="exact")
+        agree = np.mean(a.predict(X) == exact.predict(X))
+        assert agree > 0.9
+
+    def test_weighted_fit_runs_outside_identity_regime(self):
+        X, y = small_problem(600, seed=9)
+        weights = np.random.default_rng(9).uniform(0.5, 2.0, len(y))
+        model = DecisionTreeClassifier(max_depth=6).fit(
+            X, y, sample_weight=weights, presort="histogram"
+        )
+        assert model.depth_ <= 6
+        # node sample counts are real row counts, independent of weights
+        assert model.tree_.n_samples == len(y)
+
+    def test_multiclass_weighted_histogram(self):
+        rng = np.random.default_rng(11)
+        X = rng.integers(0, 20, size=(500, 4)).astype(float)
+        y = rng.integers(0, 3, 500)
+        weights = rng.uniform(0.1, 3.0, 500)
+        model = DecisionTreeClassifier(max_depth=5).fit(
+            X, y, sample_weight=weights, presort="histogram"
+        )
+        proba = model.predict_proba(X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+class TestSubtractionTrick:
+    def test_partition_matches_direct_accumulation(self):
+        X, y = small_problem(800, seed=13)
+        onehot = np.zeros((len(y), 2))
+        onehot[np.arange(len(y)), y] = 1.0
+        splitter = HistogramSplitter(X, onehot, "gini", 1)
+        root = splitter.root_context()
+        indices = np.arange(len(y))
+        left = indices[X[:, 1] <= 4.0]
+        right = indices[X[:, 1] > 4.0]
+        left_ctx, right_ctx = splitter.partition(root, left, right)
+        for derived, direct in zip(right_ctx, splitter._accumulate(right)):
+            if derived is None:
+                assert direct is None
+            else:
+                np.testing.assert_array_equal(derived, direct)
+        for derived, direct in zip(left_ctx, splitter._accumulate(left)):
+            if derived is None:
+                assert direct is None
+            else:
+                np.testing.assert_array_equal(derived, direct)
