@@ -1,0 +1,218 @@
+"""Distributed grid benchmark: work-queue executor vs serial execution.
+
+Runs an imputation-heavy germancredit grid (tuned decision tree × two
+missing-value handlers × interventions × seeds — the preparation-group
+shape the paper's studies produce) through :class:`SerialExecutor`, then
+through :class:`DistributedExecutor` with 1, 2 and 4 forked localhost
+workers, asserting before any floor is consulted that every distributed
+run returns results **byte-identical** to the serial baseline.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_distributed.py           # record
+    PYTHONPATH=src python benchmarks/bench_distributed.py --smoke   # CI gate
+
+``--smoke`` runs a tiny grid through the coordinator/worker path,
+asserts byte-identity, and enforces the committed floors in
+``BENCH_distributed.json``: 4 localhost workers must deliver >= 2.5x
+serial wall-clock — but only when the *recording* machine had >= 4 cores
+(``meta.cpu_count`` is committed alongside, so single-core runners log a
+machine-readable skip instead of failing a floor physics forbids), plus
+an unconditional overhead floor: one distributed worker must stay within
+2x of serial (the protocol must not eat the work).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core import (
+    DatawigImputer,
+    DecisionTree,
+    DIRemover,
+    DistributedExecutor,
+    GridSpec,
+    LogisticRegression,
+    ModeImputer,
+    NoIntervention,
+    SerialExecutor,
+)
+from repro.core.executors import ExecutionPlan, plan_groups
+from repro.datasets import load_dataset
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), "BENCH_distributed.json")
+
+#: ISSUE acceptance criterion: 4 localhost workers >= 2.5x serial, binding
+#: only where the recording machine can actually run 4 workers in parallel
+DIST_FLOOR = 2.5
+DIST_FLOOR_WORKERS = 4
+
+#: unconditional: the coordinator/lease/stream protocol must cost < 2x
+#: serial with a single worker doing all the work
+OVERHEAD_FLOOR = 0.5
+
+WORKER_COUNTS = (1, 2, 4)
+LEASE_SECONDS = 30.0
+
+
+def _grid(smoke: bool) -> GridSpec:
+    if smoke:
+        return GridSpec(
+            seeds=[0, 1],
+            learners=[lambda: LogisticRegression(tuned=False)],
+            interventions=[NoIntervention, lambda: DIRemover(0.5)],
+            missing_value_handlers=[lambda: ModeImputer()],
+        )
+    # 4 seeds x 2 handlers = 8 preparation groups of 2 tuned-DT runs each:
+    # enough per-group weight that leases amortize, enough groups that a
+    # 4-worker queue stays busy
+    return GridSpec(
+        seeds=[0, 1, 2, 3],
+        learners=[lambda: DecisionTree(tuned=True)],
+        interventions=[NoIntervention, lambda: DIRemover(0.5)],
+        missing_value_handlers=[lambda: ModeImputer(), lambda: DatawigImputer()],
+    )
+
+
+def _timed_run(executor, plan):
+    started = time.perf_counter()
+    results = executor.run(plan)
+    return time.perf_counter() - started, results
+
+
+def _assert_byte_identical(label, results, baseline):
+    got = [r.to_json() for r in results]
+    want = [r.to_json() for r in baseline]
+    assert got == want, (
+        f"{label} results are not byte-identical to serial execution "
+        f"({sum(a != b for a, b in zip(got, want))} of {len(want)} differ)"
+    )
+
+
+def run_benchmarks(smoke: bool) -> dict:
+    frame, spec = load_dataset("germancredit")
+    grid = _grid(smoke)
+    plan = ExecutionPlan.for_grid(frame, spec, grid)
+    n_groups = len(plan_groups(list(plan.configs)))
+
+    serial_seconds, baseline = _timed_run(SerialExecutor(), plan)
+
+    worker_counts = (2,) if smoke else WORKER_COUNTS
+    measurements = {"serial_seconds": round(serial_seconds, 3)}
+    speedup = {}
+    requeued = 0
+    for workers in worker_counts:
+        executor = DistributedExecutor(
+            workers=workers, lease_seconds=LEASE_SECONDS
+        )
+        seconds, results = _timed_run(executor, plan)
+        _assert_byte_identical(f"distributed({workers})", results, baseline)
+        stats = executor.stats
+        assert stats["completed"] == stats["total"] == len(baseline)
+        requeued += stats["requeued"]
+        measurements[f"dist{workers}_seconds"] = round(seconds, 3)
+        speedup[f"dist{workers}_vs_serial"] = round(serial_seconds / seconds, 2)
+
+    return {
+        "measurements": measurements,
+        "speedup": speedup,
+        "meta": {
+            "dataset": "germancredit",
+            "n_rows": frame.num_rows,
+            "grid_runs": len(plan.configs),
+            "prep_groups": n_groups,
+            "worker_counts": list(worker_counts),
+            "lease_seconds": LEASE_SECONDS,
+            "keys_requeued": requeued,
+            "cpu_count": os.cpu_count(),
+            "smoke": smoke,
+        },
+        "dist_floor": _dist_floor_status(os.cpu_count()),
+    }
+
+
+def _dist_floor_status(cpu_count) -> dict:
+    """Machine-readable record of whether the 4-worker floor was measurable.
+
+    Committed into BENCH_distributed.json so the CI gate (and any future
+    re-record on real multi-core hardware) distinguishes "not measured on
+    this machine" from "regressed": ``skipped`` is true exactly when the
+    recording machine cannot physically run 4 workers in parallel.
+    """
+    cores = cpu_count or 1
+    skipped = cores < DIST_FLOOR_WORKERS
+    status = {
+        "floor": DIST_FLOOR,
+        "requires_workers": DIST_FLOOR_WORKERS,
+        "skipped": skipped,
+    }
+    if skipped:
+        status["reason"] = (
+            f"recording machine had cpu_count={cores}; the "
+            f"{DIST_FLOOR}x floor only binds at >= "
+            f"{DIST_FLOOR_WORKERS} cores"
+        )
+    return status
+
+
+def check_floors() -> None:
+    with open(BENCH_JSON) as handle:
+        recorded = json.load(handle)
+    meta = recorded["meta"]
+    value = recorded["speedup"]["dist1_vs_serial"]
+    assert value >= OVERHEAD_FLOOR, (
+        f"committed dist1_vs_serial {value} fell below the overhead floor "
+        f"{OVERHEAD_FLOOR}: the lease/stream protocol is eating the work; "
+        "re-record BENCH_distributed.json from an implementation that "
+        "restores it"
+    )
+    status = recorded.get("dist_floor") or _dist_floor_status(
+        meta.get("cpu_count")
+    )
+    if not status["skipped"]:
+        value = recorded["speedup"][f"dist{DIST_FLOOR_WORKERS}_vs_serial"]
+        assert value >= DIST_FLOOR, (
+            f"committed dist{DIST_FLOOR_WORKERS}_vs_serial speedup {value} "
+            f"fell below its floor {DIST_FLOOR} on a "
+            f"{meta.get('cpu_count')}-core recording machine; re-record "
+            "BENCH_distributed.json from an implementation that restores it"
+        )
+    else:
+        print(f"distributed floor skipped: {status['reason']}")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny grid + byte-identity + committed floors",
+    )
+    args = parser.parse_args()
+
+    results = run_benchmarks(smoke=args.smoke)
+    print(json.dumps(results, indent=2, sort_keys=True))
+
+    if args.smoke:
+        check_floors()
+        print(
+            "\nsmoke checks passed (byte-identity to serial, all keys "
+            "merged, committed speedup floors)"
+        )
+        return 0
+
+    with open(BENCH_JSON, "w") as handle:
+        json.dump(results, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nrecorded to {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,7 +11,15 @@ Commands
     Execute a single lifecycle run and print the key test metrics.
 ``grid --dataset NAME --seeds N [options]``
     Execute a seed × intervention sweep and print the aggregate table
-    (``--export`` publishes the best run's pipeline into a registry).
+    (``--export`` publishes the best run's pipeline into a registry;
+    ``--distributed`` runs it as a fault-tolerant work-queue coordinator
+    leasing preparation groups to ``--jobs`` forked localhost workers
+    and/or external ``grid-worker`` processes; ``--frame-store DIR``
+    reads the dataset from a memory-mapped frame store).
+``grid-worker --connect HOST:PORT [--worker-id ID --frame-store DIR]``
+    Join a ``grid --distributed`` coordinator as a worker: rebuild the
+    grid from the coordinator's manifest, lease preparation groups,
+    stream results back, exit when the grid is done.
 ``export --dataset NAME --registry PATH [options]``
     Run one lifecycle and publish the fitted pipeline into a registry.
 ``score --registry PATH --model REF --dataset NAME [options]``
@@ -53,6 +61,10 @@ from .core import (
 from .datasets import dataset_names, load_dataset
 from .frame import describe
 from .learn import MinMaxScaler, NoOpScaler, StandardScaler
+
+#: bumped when the grid-manifest layout changes; a worker refuses to
+#: rebuild a plan from a manifest version it does not understand
+MANIFEST_VERSION = 1
 
 _LEARNERS = {
     "lr": lambda tuned: LogisticRegression(tuned=tuned),
@@ -149,7 +161,38 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="worker processes for the grid (1 = serial; >1 uses the "
-        "process-pool backend with shared-preparation caching)",
+        "process-pool backend with shared-preparation caching; with "
+        "--distributed this is the forked localhost worker count and "
+        "0 means serve external grid-worker processes only)",
+    )
+    p_grid.add_argument(
+        "--distributed",
+        action="store_true",
+        help="run as a work-queue coordinator: lease preparation groups "
+        "to --jobs forked localhost workers and any grid-worker process "
+        "that connects to --bind; results are identical to serial",
+    )
+    p_grid.add_argument(
+        "--bind",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="coordinator listen address for --distributed "
+        "(port 0 picks a free port; printed on startup)",
+    )
+    p_grid.add_argument(
+        "--lease-seconds",
+        type=float,
+        default=30.0,
+        help="distributed lease deadline: a worker silent this long has "
+        "its unfinished keys re-queued for another worker",
+    )
+    p_grid.add_argument(
+        "--frame-store",
+        default=None,
+        metavar="DIR",
+        help="read the dataset from this memory-mapped frame store "
+        "(written by `datasets synth --store`) instead of generating it; "
+        "run fingerprints then derive from the store manifest",
     )
     p_grid.add_argument(
         "--resume",
@@ -168,6 +211,30 @@ def build_parser() -> argparse.ArgumentParser:
         action="append",
         default=None,
         help="tag to promote the exported model to (repeatable)",
+    )
+
+    p_worker = sub.add_parser(
+        "grid-worker", help="join a distributed grid run as a worker"
+    )
+    p_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="address of a `grid --distributed` coordinator",
+    )
+    p_worker.add_argument(
+        "--worker-id",
+        default=None,
+        help="stable worker name for coordinator-side stats "
+        "(default: hostname-pid)",
+    )
+    p_worker.add_argument(
+        "--frame-store",
+        default=None,
+        metavar="DIR",
+        help="local frame store directory holding the coordinator's "
+        "dataset (required when the coordinator grid runs on a store; "
+        "fingerprints must match)",
     )
 
     p_export = sub.add_parser(
@@ -285,6 +352,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_serve(args)
     if args.command == "registry":
         return _cmd_registry(args)
+    if args.command == "grid-worker":
+        return _cmd_grid_worker(args)
     return _cmd_grid(args)
 
 
@@ -410,23 +479,66 @@ def _cmd_run(args) -> int:
     return 0
 
 
+def _named_grid(
+    seeds: int,
+    learner: str,
+    tuned: bool,
+    interventions: List[str],
+    scaler: str,
+    missing: Optional[str],
+) -> GridSpec:
+    """Build a :class:`GridSpec` purely from registry names.
+
+    Shared by ``grid`` and ``grid-worker`` so a manifest round-trip over
+    the wire reproduces the coordinator's run fingerprints exactly.
+    ``missing`` must already be resolved (no ``"auto"``): ``None`` means
+    no handler.
+    """
+    handler = (lambda: _HANDLERS[missing]()) if missing else (lambda: None)
+    return GridSpec(
+        seeds=list(range(seeds)),
+        learners=[lambda: _LEARNERS[learner](tuned)],
+        interventions=[_INTERVENTIONS[name] for name in interventions],
+        scalers=[_SCALERS[scaler]],
+        missing_value_handlers=[handler],
+    )
+
+
+def _resolve_missing(name: str, frame, spec) -> Optional[str]:
+    """Collapse ``auto`` to a concrete handler name for this frame."""
+    if name != "auto":
+        return name
+    if frame.missing_mask(spec.feature_columns).any():
+        return "mode"
+    return None
+
+
 def _cmd_grid(args) -> int:
     if args.resume and not args.output:
         print("--resume requires --output (the store to resume from)", file=sys.stderr)
         return 2
     store = ResultsStore(args.output) if args.output else None
-    grid = GridSpec(
-        seeds=list(range(args.seeds)),
-        learners=[lambda: _LEARNERS[args.learner](not args.no_tuning)],
-        interventions=[_INTERVENTIONS[name] for name in args.interventions],
-        scalers=[_SCALERS[args.scaler]],
-        missing_value_handlers=[
-            (lambda: _HANDLERS[args.missing]()) if args.missing != "auto" else (lambda: None)
-        ],
+    if args.frame_store:
+        from .core import open_store_dataset
+
+        frame, spec, dataset_fingerprint = open_store_dataset(
+            args.dataset, args.frame_store
+        )
+    else:
+        frame, spec = load_dataset(args.dataset, n=args.size)
+        dataset_fingerprint = None
+    missing = _resolve_missing(args.missing, frame, spec)
+    grid = _named_grid(
+        args.seeds,
+        args.learner,
+        not args.no_tuning,
+        list(args.interventions),
+        args.scaler,
+        missing,
     )
-    frame, spec = load_dataset(args.dataset, n=args.size)
-    if args.missing == "auto" and frame.missing_mask(spec.feature_columns).any():
-        grid.missing_value_handlers = [lambda: ModeImputer()]
+    executor = None
+    if args.distributed:
+        executor = _make_coordinator(args, missing, dataset_fingerprint)
     print(f"executing {grid.size()} runs on {args.dataset} ...", file=sys.stderr)
     results = run_grid(
         (frame, spec),
@@ -436,10 +548,14 @@ def _cmd_grid(args) -> int:
         progress=lambda done, total, _: print(f"  {done}/{total}", end="\r", file=sys.stderr),
         jobs=args.jobs,
         resume=args.resume,
+        executor=executor,
+        dataset_fingerprint=dataset_fingerprint,
         export=args.export,
         export_tags=args.export_tag,
     )
     print(file=sys.stderr)
+    if executor is not None and executor.stats is not None:
+        _print_distributed_summary(executor.stats)
     rows = []
     by_intervention: dict = {}
     for result in results:
@@ -464,6 +580,186 @@ def _cmd_grid(args) -> int:
         print(f"\nper-run records written to {args.output}")
     if args.export:
         print(f"best pipeline exported to registry {args.export}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# distributed grid commands
+# ----------------------------------------------------------------------
+def _make_coordinator(args, missing: Optional[str], store_fingerprint):
+    """Build the work-queue executor + manifest for ``grid --distributed``."""
+    from .core import DistributedExecutor
+    from .core.distributed import parse_address
+
+    host, port = parse_address(args.bind)
+    manifest = {
+        "version": MANIFEST_VERSION,
+        "dataset": args.dataset,
+        "size": args.size,
+        "protected": args.protected,
+        "grid": {
+            "seeds": args.seeds,
+            "learner": args.learner,
+            "tuned": not args.no_tuning,
+            "interventions": list(args.interventions),
+            "scaler": args.scaler,
+            "missing": missing,
+        },
+        "store_fingerprint": store_fingerprint,
+    }
+    executor = DistributedExecutor(
+        host=host,
+        port=port,
+        workers=max(0, args.jobs),
+        lease_seconds=args.lease_seconds,
+        manifest=manifest,
+        on_event=_distributed_event,
+    )
+    host, port = executor.address
+    print(f"coordinator listening on {host}:{port}", file=sys.stderr, flush=True)
+    print(
+        f"join with: repro grid-worker --connect {host}:{port}",
+        file=sys.stderr,
+        flush=True,
+    )
+    return executor
+
+
+def _distributed_event(payload: dict) -> None:
+    """Coordinator observability: one stderr line per lease-queue event."""
+    event = payload.get("event")
+    if event == "worker-registered":
+        line = f"worker {payload['worker']} registered"
+    elif event == "lease":
+        line = (
+            f"lease {payload['lease']} -> {payload['worker']} "
+            f"({payload['keys']} keys)"
+        )
+    elif event == "requeue":
+        line = (
+            f"requeued {payload['keys']} keys from lease {payload['lease']} "
+            f"({payload['reason']})"
+        )
+    elif event == "complete":
+        line = (
+            f"lease {payload['lease']} complete: {payload['worker']} "
+            f"delivered {payload['keys']} keys"
+        )
+    elif event == "worker-error":
+        line = f"worker {payload['worker']} error: {payload['message']}"
+    else:
+        return
+    print(f"[coordinator] {line}", file=sys.stderr, flush=True)
+
+
+def _print_distributed_summary(stats: dict) -> None:
+    workers = stats.get("workers", {})
+    print(
+        f"distributed summary: {len(workers)} worker(s) seen, "
+        f"{stats['completed']}/{stats['total']} runs merged, "
+        f"{stats['requeued']} keys re-queued, "
+        f"{stats['duplicates']} duplicates dropped, "
+        f"{stats['stale_results']} stale results recovered",
+        file=sys.stderr,
+    )
+    for name in sorted(workers):
+        record = workers[name]
+        hits = max(record["runs"] - record["prep_builds"], 0)
+        print(
+            f"  {name}: {record['runs']} runs in {record['groups']} "
+            f"group(s), prep-cache hits {hits}, "
+            f"{record['seconds']:.2f}s busy",
+            file=sys.stderr,
+        )
+
+
+def _cmd_grid_worker(args) -> int:
+    from .core import ExecutionPlan, open_store_dataset
+    from .core.distributed import (
+        PlanMismatchError,
+        ProtocolError,
+        parse_address,
+        worker_loop,
+    )
+
+    try:
+        address = parse_address(args.connect)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    def plan_factory(manifest):
+        if not isinstance(manifest, dict):
+            raise ProtocolError("coordinator sent no usable grid manifest")
+        version = manifest.get("version")
+        if version != MANIFEST_VERSION:
+            raise ProtocolError(
+                f"unsupported manifest version {version!r} (this worker "
+                f"speaks {MANIFEST_VERSION}); upgrade the older side"
+            )
+        fingerprint = None
+        store_fingerprint = manifest.get("store_fingerprint")
+        if store_fingerprint:
+            if not args.frame_store:
+                raise ProtocolError(
+                    "coordinator grid reads from a frame store; pass "
+                    "--frame-store DIR pointing at an identical local copy"
+                )
+            frame, spec, fingerprint = open_store_dataset(
+                manifest["dataset"], args.frame_store
+            )
+            if fingerprint != store_fingerprint:
+                raise PlanMismatchError(
+                    f"local store fingerprint {fingerprint} does not match "
+                    f"the coordinator's {store_fingerprint}; the stores "
+                    "hold different data"
+                )
+        else:
+            frame, spec = load_dataset(
+                manifest["dataset"], n=manifest.get("size")
+            )
+        g = manifest["grid"]
+        grid = _named_grid(
+            g["seeds"],
+            g["learner"],
+            g["tuned"],
+            list(g["interventions"]),
+            g["scaler"],
+            g["missing"],
+        )
+        return ExecutionPlan.for_grid(
+            frame,
+            spec,
+            grid,
+            protected_attribute=manifest.get("protected"),
+            dataset_fingerprint=fingerprint,
+        )
+
+    def event(payload: dict) -> None:
+        name = payload.pop("worker", "worker")
+        kind = payload.pop("event", "?")
+        detail = " ".join(f"{k}={v}" for k, v in payload.items())
+        print(f"[{name}] {kind} {detail}".rstrip(), file=sys.stderr, flush=True)
+
+    try:
+        stats = worker_loop(
+            address,
+            plan_factory=plan_factory,
+            worker_id=args.worker_id,
+            on_event=event,
+        )
+    except ConnectionRefusedError:
+        print(f"no coordinator listening on {args.connect}", file=sys.stderr)
+        return 2
+    except (PlanMismatchError, ProtocolError, KeyError) as error:
+        print(f"grid-worker failed: {error}", file=sys.stderr)
+        return 2
+    hits = max(stats["runs"] - stats["prep_builds"], 0)
+    print(
+        f"worker {stats['worker']}: {stats['runs']} runs in "
+        f"{stats['groups']} group(s), prep-cache hits {hits}, "
+        f"{stats['seconds']:.2f}s busy"
+    )
     return 0
 
 

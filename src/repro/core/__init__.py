@@ -15,11 +15,15 @@ from .components import (
     component_fingerprint,
     constructor_params,
 )
+from .distributed import DistributedExecutor
 from .executors import (
+    EXECUTOR_BACKENDS,
     ExecutionPlan,
     Executor,
     ParallelExecutor,
     SerialExecutor,
+    make_executor,
+    register_executor,
 )
 from .experiment import (
     Experiment,
@@ -61,7 +65,7 @@ from .resamplers import (
 )
 from .plan import RunConfig, route_intervention
 from .results import CandidateResult, ResultsStore, RunResult, results_to_rows
-from .runner import GridSpec, export_best, run_grid
+from .runner import GridSpec, export_best, open_store_dataset, run_grid
 from .selection import (
     AccuracySelector,
     BestModelSelector,
@@ -91,7 +95,9 @@ __all__ = [
     "DECISION_TREE_GRID",
     "DIRemover",
     "DecisionTree",
+    "DistributedExecutor",
     "EqOddsPostProcessor",
+    "EXECUTOR_BACKENDS",
     "ExecutionPlan",
     "Executor",
     "Experiment",
@@ -130,6 +136,9 @@ __all__ = [
     "TrainedCandidates",
     "component_fingerprint",
     "constructor_params",
+    "make_executor",
+    "open_store_dataset",
+    "register_executor",
     "results_to_rows",
     "route_intervention",
     "export_best",

@@ -145,6 +145,23 @@ def run_config_group(
     ]
 
 
+def plan_groups(
+    pending: Sequence[RunConfig], share_preparation: bool = True
+) -> List[List[RunConfig]]:
+    """Partition pending configs into shared-preparation groups.
+
+    The scheduling unit every backend distributes: all configs in a group
+    share a ``prep_key``, so whoever executes the group (a local process,
+    a remote grid worker) prepares its splits exactly once.
+    """
+    if not share_preparation:
+        return [[config] for config in pending]
+    grouped: Dict[str, List[RunConfig]] = {}
+    for config in pending:
+        grouped.setdefault(config.prep_key, []).append(config)
+    return list(grouped.values())
+
+
 class Executor(abc.ABC):
     """One interface for all backends: ``run(plan) -> [RunResult]``.
 
@@ -212,12 +229,7 @@ class Executor(abc.ABC):
     # ------------------------------------------------------------------
     def _groups(self, pending: List[RunConfig]) -> List[List[RunConfig]]:
         """Partition pending configs into shared-preparation groups."""
-        if not self.share_preparation:
-            return [[config] for config in pending]
-        grouped: Dict[str, List[RunConfig]] = {}
-        for config in pending:
-            grouped.setdefault(config.prep_key, []).append(config)
-        return list(grouped.values())
+        return plan_groups(pending, self.share_preparation)
 
 
 def _run_groups_in_process(plan, groups, share_preparation, emit_group) -> None:
@@ -306,3 +318,34 @@ class ParallelExecutor(Executor):
             min(workers, len(groups)),
             lambda index, group, results: emit_group(group, results),
         )
+
+
+# ----------------------------------------------------------------------
+# backend registry
+#
+# Every executor backend registers here under a short name, so callers
+# (the CLI, run_grid) can select one without importing its module —
+# :mod:`repro.core.distributed` registers itself on import.
+# ----------------------------------------------------------------------
+EXECUTOR_BACKENDS: Dict[str, Callable[..., Executor]] = {}
+
+
+def register_executor(name: str, factory: Callable[..., Executor]) -> None:
+    """Register an executor backend under a short selector name."""
+    EXECUTOR_BACKENDS[name] = factory
+
+
+def make_executor(name: str, **kwargs) -> Executor:
+    """Instantiate a registered backend: ``make_executor("parallel", jobs=4)``."""
+    try:
+        factory = EXECUTOR_BACKENDS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown executor backend {name!r}; "
+            f"available: {sorted(EXECUTOR_BACKENDS)}"
+        ) from None
+    return factory(**kwargs)
+
+
+register_executor("serial", SerialExecutor)
+register_executor("parallel", ParallelExecutor)

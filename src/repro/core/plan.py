@@ -81,14 +81,36 @@ class RunConfig:
     run_key: str
 
     def to_dict(self) -> dict:
+        """Full wire-format record; :meth:`from_dict` round-trips it."""
         return {
             "dataset": self.dataset,
             "random_seed": self.random_seed,
             "index": self.index,
+            "learner_index": self.learner_index,
+            "intervention_index": self.intervention_index,
+            "handler_index": self.handler_index,
+            "scaler_index": self.scaler_index,
+            "protected_attribute": self.protected_attribute,
             "components": dict(self.components),
             "prep_key": self.prep_key,
             "run_key": self.run_key,
         }
+
+    @staticmethod
+    def from_dict(data: dict) -> "RunConfig":
+        return RunConfig(
+            dataset=data["dataset"],
+            random_seed=int(data["random_seed"]),
+            index=int(data["index"]),
+            learner_index=int(data["learner_index"]),
+            intervention_index=int(data["intervention_index"]),
+            handler_index=int(data["handler_index"]),
+            scaler_index=int(data["scaler_index"]),
+            protected_attribute=data.get("protected_attribute"),
+            components=dict(data["components"]),
+            prep_key=data["prep_key"],
+            run_key=data["run_key"],
+        )
 
 
 @dataclass

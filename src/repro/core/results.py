@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import json
 import os
+import shutil
+import tempfile
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional
 
@@ -73,7 +75,14 @@ class RunResult:
 
 
 class ResultsStore:
-    """Append-only JSONL store of run results on disk."""
+    """Append-only JSONL store of run results on disk.
+
+    Writes are crash-safe: a batch lands in the store through a temp-file
+    copy and an atomic rename, so a process killed mid-write (a dead grid
+    worker, a SIGKILLed coordinator) can never leave a truncated store
+    behind — readers and ``resume=True`` always see the previous complete
+    state or the new complete state, nothing in between.
+    """
 
     def __init__(self, path: str):
         self.path = path
@@ -81,15 +90,32 @@ class ResultsStore:
         os.makedirs(directory, exist_ok=True)
 
     def append(self, result: RunResult) -> None:
-        with open(self.path, "a") as handle:
-            handle.write(result.to_json() + "\n")
+        self.extend([result])
 
     def extend(self, results: List[RunResult]) -> None:
-        """Append a batch of results with a single open/write."""
+        """Append a batch of results atomically (temp file + rename)."""
         if not results:
             return
-        with open(self.path, "a") as handle:
-            handle.write("".join(result.to_json() + "\n" for result in results))
+        payload = "".join(result.to_json() + "\n" for result in results)
+        directory = os.path.dirname(os.path.abspath(self.path))
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=os.path.basename(self.path) + ".", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                if os.path.exists(self.path):
+                    with open(self.path) as current:
+                        shutil.copyfileobj(current, handle)
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
 
     def run_keys(self) -> "set[str]":
         """Fingerprints of every stored run that carries one."""

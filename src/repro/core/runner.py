@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Tuple, Union
 
-from ..datasets import DatasetSpec, load_dataset
+from ..datasets import DatasetSpec, dataset_spec, load_dataset
 from ..frame import DataFrame
 from .executors import (
     ExecutionPlan,
@@ -29,6 +29,23 @@ from .results import ResultsStore, RunResult
 _route_intervention = route_intervention
 
 
+def open_store_dataset(
+    dataset: str, store_dir: str
+) -> Tuple[DataFrame, DatasetSpec, str]:
+    """A frame-store-backed grid input: memory-mapped frame + spec + identity.
+
+    The frame reopens as OS-paged memory maps (milliseconds at any size —
+    distributed workers on synthetic millions never re-parse a CSV), the
+    spec comes from the named dataset registry, and the dataset
+    fingerprint comes from the store manifest, so ``run_key``s agree
+    across every machine that opens an identical store.
+    """
+    from ..frame.storage import FrameStore
+
+    store = FrameStore.open(store_dir)
+    return store.frame(), dataset_spec(dataset), store.fingerprint()
+
+
 def run_grid(
     dataset: Union[str, Tuple[DataFrame, DatasetSpec]],
     grid: GridSpec,
@@ -40,6 +57,7 @@ def run_grid(
     resume: bool = False,
     executor: Optional[Executor] = None,
     dataset_fingerprint: Optional[str] = None,
+    frame_store: Optional[str] = None,
     export=None,
     export_tags=None,
 ) -> List[RunResult]:
@@ -52,12 +70,25 @@ def run_grid(
     ``run_key`` is already stored are returned from the store instead of
     recomputed. Results always come back in grid-expansion order.
 
+    ``frame_store`` (a :mod:`repro.frame.storage` store directory) replaces
+    the generated frame with the store's memory-mapped one; ``dataset``
+    must then be a registered name (it supplies the spec) and the dataset
+    fingerprint defaults to the store manifest's.
+
     ``export`` (a :class:`~repro.serve.registry.ModelRegistry` or a path)
     publishes the best run's fitted pipeline — highest best-candidate
     validation accuracy across the grid — into the registry after the sweep,
     keyed by that run's ``run_key`` and optionally tagged ``export_tags``.
     """
-    if isinstance(dataset, str):
+    if frame_store is not None:
+        if not isinstance(dataset, str):
+            raise ValueError(
+                "frame_store requires a registered dataset name for its spec"
+            )
+        frame, spec, store_fingerprint = open_store_dataset(dataset, frame_store)
+        if dataset_fingerprint is None:
+            dataset_fingerprint = store_fingerprint
+    elif isinstance(dataset, str):
         frame, spec = load_dataset(dataset, n=dataset_size)
     else:
         frame, spec = dataset
@@ -115,6 +146,7 @@ __all__ = [
     "GridSpec",
     "Intervention",
     "export_best",
+    "open_store_dataset",
     "run_grid",
     "route_intervention",
 ]

@@ -32,6 +32,18 @@ def dataset_names() -> list:
     return sorted(_REGISTRY)
 
 
+def dataset_spec(name: str) -> DatasetSpec:
+    """The :class:`DatasetSpec` for a registered dataset, without
+    generating any rows — for callers that bring their own frame (e.g. a
+    memory-mapped :class:`~repro.frame.storage.FrameStore`)."""
+    try:
+        return _REGISTRY[name][1]
+    except KeyError:
+        raise KeyError(
+            f"unknown dataset {name!r}; available: {dataset_names()}"
+        ) from None
+
+
 def load_dataset(
     name: str, n: Optional[int] = None, seed: int = 0
 ) -> Tuple[DataFrame, DatasetSpec]:
@@ -57,6 +69,7 @@ __all__ = [
     "ProtectedAttribute",
     "RICCI_SPEC",
     "dataset_names",
+    "dataset_spec",
     "generate_adult",
     "generate_germancredit",
     "generate_payment",

@@ -37,6 +37,7 @@ Two details make streaming writes exact:
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import struct
@@ -250,6 +251,19 @@ class FrameStore:
     @property
     def columns(self) -> List[str]:
         return [entry["name"] for entry in self._columns]
+
+    def fingerprint(self) -> str:
+        """Deterministic identity of the stored dataset, from the manifest.
+
+        Two stores spilled from the same data fingerprint equal regardless
+        of directory path or machine, so experiment-plan ``run_key``s
+        computed against a store match across distributed workers without
+        anyone re-reading (or re-shipping) the underlying rows.
+        """
+        payload = {"n_rows": self.n_rows, "columns": self._columns}
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+        return f"store:{digest}|rows={self.n_rows}"
 
     def column(self, name: str) -> Column:
         for entry in self._columns:

@@ -19,6 +19,10 @@ produce results identical to serial execution.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import signal
+import time
+import traceback
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Callable, List, Optional, Sequence, Tuple
@@ -116,6 +120,62 @@ def run_groups(
                 raise
     finally:
         _WORKER_STATE = inherited
+
+
+def fork_process(target: Callable[[], object]) -> int:
+    """Fork a long-lived worker process that runs ``target()`` and exits.
+
+    The single-machine "distributed over localhost" mode spawns its grid
+    workers this way: the child inherits the coordinator's published plan
+    copy-on-write (closures and all), runs the target, and ``os._exit``s
+    so no parent state (atexit handlers, buffered streams) runs twice.
+    Exit status is 0 on success, 1 on an exception (traceback printed).
+    """
+    if not fork_available():  # pragma: no cover - platform-specific
+        raise RuntimeError("fork_process needs the 'fork' start method")
+    pid = os.fork()
+    if pid != 0:
+        return pid
+    status = 0
+    try:
+        target()
+    except BaseException:
+        traceback.print_exc()
+        status = 1
+    finally:
+        os._exit(status)
+
+
+def reap_process(
+    pid: int, kill_after: float = 10.0, grace: float = 2.0
+) -> Optional[int]:
+    """Collect a forked child, escalating TERM -> KILL if it lingers.
+
+    Polls for up to ``grace`` seconds first, so a child that is about to
+    exit on its own (a grid worker draining its final ``done`` reply) is
+    collected cleanly instead of signalled. Returns the child's raw
+    ``waitpid`` status, or ``None`` when it was already reaped elsewhere.
+    """
+    try:
+        deadline = time.monotonic() + grace
+        while True:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                return status
+            if time.monotonic() >= deadline:
+                break
+            time.sleep(0.02)
+        os.kill(pid, signal.SIGTERM)
+        deadline = time.monotonic() + kill_after
+        while time.monotonic() < deadline:
+            done, status = os.waitpid(pid, os.WNOHANG)
+            if done:
+                return status
+            time.sleep(0.05)
+        os.kill(pid, signal.SIGKILL)
+        return os.waitpid(pid, 0)[1]
+    except (ChildProcessError, ProcessLookupError):
+        return None
 
 
 def split_for_balance(groups: List[list], workers: int) -> List[list]:

@@ -118,6 +118,15 @@ class TestPlanExpansion:
         assert pickle.loads(pickle.dumps(config)) == config
         assert json.loads(json.dumps(config.to_dict()))["run_key"] == config.run_key
 
+    def test_config_wire_roundtrip_is_lossless(self):
+        import json
+
+        from repro.core.plan import RunConfig
+
+        for config in small_grid().expand("germancredit"):
+            wire = json.loads(json.dumps(config.to_dict()))
+            assert RunConfig.from_dict(wire) == config
+
     def test_build_experiment_matches_config(self, german):
         frame, spec = german
         plan = ExecutionPlan.for_grid(frame, spec, small_grid())
@@ -383,3 +392,55 @@ class TestComponentFingerprint:
 
     def test_none_component(self):
         assert component_fingerprint(None) == "None"
+
+
+class TestStoreBackedGrids:
+    def _spill(self, frame, path) -> str:
+        from repro.frame.storage import FrameStoreWriter
+
+        with FrameStoreWriter(str(path)) as writer:
+            writer.append(frame)
+        return str(path)
+
+    def test_run_grid_from_frame_store_matches_in_memory(
+        self, german, serial_results, tmp_path
+    ):
+        frame, _ = german
+        store_dir = self._spill(frame, tmp_path / "store")
+        results = run_grid("germancredit", small_grid(), frame_store=store_dir)
+        # same metrics as the in-memory run; different run_keys, because
+        # the fingerprint now derives from the store manifest, not the name
+        assert [r.test_metrics for r in results] == [
+            r.test_metrics for r in serial_results
+        ]
+        assert {r.run_key for r in results}.isdisjoint(
+            {r.run_key for r in serial_results}
+        )
+
+    def test_identical_stores_agree_on_fingerprints(self, german, tmp_path):
+        from repro.core import open_store_dataset
+
+        frame, _ = german
+        first = self._spill(frame, tmp_path / "a")
+        second = self._spill(frame, tmp_path / "b")
+        _, _, fp_a = open_store_dataset("germancredit", first)
+        _, _, fp_b = open_store_dataset("germancredit", second)
+        assert fp_a == fp_b
+        assert fp_a.startswith("store:")
+        assert f"rows={frame.num_rows}" in fp_a
+
+    def test_different_store_contents_change_fingerprint(self, german, tmp_path):
+        from repro.core import open_store_dataset
+
+        frame, _ = german
+        full = self._spill(frame, tmp_path / "full")
+        truncated = self._spill(frame.head(500), tmp_path / "half")
+        _, _, fp_full = open_store_dataset("germancredit", full)
+        _, _, fp_half = open_store_dataset("germancredit", truncated)
+        assert fp_full != fp_half
+
+    def test_frame_store_requires_named_dataset(self, german, tmp_path):
+        frame, spec = german
+        store_dir = self._spill(frame, tmp_path / "store")
+        with pytest.raises(ValueError, match="registered dataset name"):
+            run_grid((frame, spec), small_grid(), frame_store=store_dir)

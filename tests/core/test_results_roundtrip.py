@@ -116,6 +116,34 @@ class TestStoreRoundtrip:
         # a result without a run_key loads but contributes no key
         assert store.run_keys() == {"k0", "k1"}
 
+    def test_extend_is_atomic_and_leaves_no_temp_files(self, tmp_path):
+        store = ResultsStore(str(tmp_path / "atomic.jsonl"))
+        store.extend([_result(0, run_key="k0")])
+        store.extend([_result(1, run_key="k1")])
+        assert store.run_keys() == {"k0", "k1"}
+        assert [p.name for p in tmp_path.iterdir()] == ["atomic.jsonl"]
+
+    def test_crashed_extend_preserves_prior_contents(self, tmp_path, monkeypatch):
+        import os
+
+        store = ResultsStore(str(tmp_path / "crash.jsonl"))
+        store.extend([_result(0, run_key="k0")])
+        before = open(store.path).read()
+
+        # a crash at the commit point (power loss before rename) must
+        # leave the previous store bytes intact and no stray temp file
+        def refuse(src, dst):
+            raise OSError("simulated crash before rename")
+
+        monkeypatch.setattr(os, "replace", refuse)
+        with pytest.raises(OSError, match="simulated crash"):
+            store.extend([_result(1, run_key="k1")])
+        monkeypatch.undo()
+
+        assert open(store.path).read() == before
+        assert store.run_keys() == {"k0"}
+        assert [p.name for p in tmp_path.iterdir()] == ["crash.jsonl"]
+
     def test_torn_final_line_recoverable(self, tmp_path):
         store = ResultsStore(str(tmp_path / "d.jsonl"))
         store.extend([_result(0, run_key="k0")])
