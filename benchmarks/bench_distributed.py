@@ -95,6 +95,41 @@ def _assert_byte_identical(label, results, baseline):
     )
 
 
+def _stage_timings(plan, baseline) -> dict:
+    """One traced 2-worker round, run *after* (and outside) the timed
+    rounds: forked workers stream spans to a temp trace dir, the files
+    must stitch into a single tree, and the per-stage totals across
+    coordinator + workers are committed alongside the wall-clock numbers
+    so the recorded speedups carry their own time breakdown."""
+    import tempfile
+
+    from repro import telemetry
+    from repro.telemetry import trace as trace_tools
+
+    with tempfile.TemporaryDirectory() as tmp:
+        telemetry.reset_for_tests()
+        telemetry.configure(trace_dir=tmp)
+        try:
+            executor = DistributedExecutor(
+                workers=2, lease_seconds=LEASE_SECONDS
+            )
+            results = executor.run(plan)
+            _assert_byte_identical("distributed(traced)", results, baseline)
+            summary = trace_tools.summarize(tmp)
+        finally:
+            telemetry.reset_for_tests()
+    problem = trace_tools.check_single_tree(summary)
+    assert problem is None, (
+        f"traced distributed run did not stitch into one tree: {problem}"
+    )
+    return {
+        "workers": 2,
+        "processes": len(summary["processes"]),
+        "spans": summary["spans"],
+        "stages": summary["stage_totals"],
+    }
+
+
 def run_benchmarks(smoke: bool) -> dict:
     frame, spec = load_dataset("germancredit")
     grid = _grid(smoke)
@@ -122,6 +157,7 @@ def run_benchmarks(smoke: bool) -> dict:
     return {
         "measurements": measurements,
         "speedup": speedup,
+        "stage_timings": _stage_timings(plan, baseline),
         "meta": {
             "dataset": "germancredit",
             "n_rows": frame.num_rows,

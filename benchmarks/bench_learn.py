@@ -65,6 +65,12 @@ SCALE_POINTS = {"dt_fit_100k": 100_000, "dt_fit_1M": 1_000_000}
 SCALE_FLOORS = {"dt_fit_1M": 3.0}
 SCALE_DEPTH = 8
 
+# instrumentation must be free when spans are off: the committed A/B of
+# dt_grid_fit (telemetry at defaults vs the master kill switch) may not
+# exceed this, and --smoke re-checks the disabled span() micro-cost live
+TELEMETRY_OVERHEAD_FLOOR_PCT = 1.0
+NOOP_SPAN_MAX_US = 2.0  # per disabled span() call, generous for CI boxes
+
 GERMANCREDIT_ROWS = 1000  # the Figure-2 tuning-grid scale
 SMOKE_ROWS = 300
 
@@ -154,6 +160,70 @@ def run_benchmarks(n_rows: int, repeats: int) -> dict:
     )
 
     return timings
+
+
+def run_telemetry_benchmarks(n_rows: int, repeats: int) -> dict:
+    """A/B the Figure-2 grid fit: telemetry at defaults vs killed off.
+
+    The default state (metrics on, spans off) is what every normal run
+    pays for the instrumentation inside the tree/grid hot path; the kill
+    switch (``REPRO_TELEMETRY=0``) removes even the counter adds. The
+    committed ``overhead_pct`` between them is gated at
+    ``TELEMETRY_OVERHEAD_FLOOR_PCT`` by ``--smoke``. A traced round runs
+    too — not gated (tracing is opt-in) but recorded, with the per-stage
+    span totals and the splitter backend the fits chose.
+    """
+    import tempfile
+
+    from repro import telemetry
+
+    X, y = _featurized("germancredit", n_rows)
+
+    def _grid_fit():
+        GridSearchCV(
+            DecisionTreeClassifier(random_state=0),
+            DECISION_TREE_GRID,
+            cv=5,
+            random_state=0,
+        ).fit(X, y)
+
+    _grid_fit()  # warm caches/allocator before any timed leg
+
+    # interleave the legs so clock drift on a busy box hits both evenly
+    disabled = default = float("inf")
+    for _ in range(repeats):
+        telemetry.reset_for_tests()
+        telemetry.configure(enabled=False)
+        disabled = min(disabled, _time(_grid_fit, 1))
+        telemetry.reset_for_tests()
+        default = min(default, _time(_grid_fit, 1))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        telemetry.reset_for_tests()
+        telemetry.configure(trace_dir=tmp)
+        before = telemetry.aggregate_state()
+        traced = _time(_grid_fit, repeats)
+        stages = telemetry.aggregate_delta(before)
+    telemetry.reset_for_tests()
+
+    backend = (
+        DecisionTreeClassifier(criterion="entropy", max_depth=8)
+        .fit(X, y)
+        .fit_backend_
+    )
+    return {
+        "n_rows": n_rows,
+        "repeats": repeats,
+        "dt_grid_fit_disabled_s": round(disabled, 6),
+        "dt_grid_fit_default_s": round(default, 6),
+        "dt_grid_fit_traced_s": round(traced, 6),
+        "overhead_pct": round((default - disabled) / disabled * 100.0, 3),
+        "traced_overhead_pct": round(
+            (traced - disabled) / disabled * 100.0, 3
+        ),
+        "fit_backend": backend,
+        "stage_timings": stages,
+    }
 
 
 def _scale_matrix(n: int, seed: int = 0):
@@ -278,7 +348,41 @@ def check_invariants(n_rows: int) -> None:
         "presort='auto' changed the tree at paper scale"
     )
 
-    # 7. the committed trajectory still meets its floors
+    # 7. telemetry must be free when off: spans default to the shared
+    #    no-op (no per-call allocation), its call cost stays micro, and a
+    #    traced fit reproduces the untraced tree node for node
+    from repro import telemetry
+
+    assert not telemetry.tracing_enabled(), (
+        "tracing is on by default; the hot path would pay for spans"
+    )
+    assert telemetry.span("bench.check") is telemetry.NOOP_SPAN, (
+        "disabled span() no longer returns the shared no-op singleton"
+    )
+    calls = 200_000
+    start = time.perf_counter()
+    for _ in range(calls):
+        with telemetry.span("bench.noop", key=1):
+            pass
+    per_call_us = (time.perf_counter() - start) / calls * 1e6
+    assert per_call_us < NOOP_SPAN_MAX_US, (
+        f"disabled span() costs {per_call_us:.2f}us/call, "
+        f"above the {NOOP_SPAN_MAX_US}us bound"
+    )
+    import tempfile
+
+    telemetry.reset_for_tests()
+    with tempfile.TemporaryDirectory() as tmp:
+        telemetry.configure(trace_dir=tmp)
+        traced_tree = DecisionTreeClassifier(
+            criterion="entropy", max_depth=8
+        ).fit(X, y)
+    telemetry.reset_for_tests()
+    assert _tree_signature(traced_tree) == _tree_signature(plain), (
+        "tracing changed the induced tree"
+    )
+
+    # 8. the committed trajectory still meets its floors
     if os.path.exists(BENCH_JSON):
         with open(BENCH_JSON) as handle:
             recorded = json.load(handle)
@@ -293,6 +397,15 @@ def check_invariants(n_rows: int) -> None:
                 f"committed scale speedup for {name} is {ratio}, "
                 f"below the {floor}x histogram-vs-exact floor"
             )
+        overhead = recorded.get("telemetry", {}).get("overhead_pct")
+        assert overhead is not None, (
+            "BENCH_learn.json has no telemetry overhead record; "
+            "re-run with --telemetry"
+        )
+        assert overhead <= TELEMETRY_OVERHEAD_FLOOR_PCT, (
+            f"committed disabled-telemetry overhead on dt_grid_fit is "
+            f"{overhead}%, above the {TELEMETRY_OVERHEAD_FLOOR_PCT}% ceiling"
+        )
 
 
 def _tree_signature(model):
@@ -343,6 +456,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="time 100k/1M-row histogram-vs-exact fits and record them",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="A/B dt_grid_fit with telemetry off/default/traced and record it",
+    )
     parser.add_argument("--rows", type=int, default=None)
     parser.add_argument("--repeats", type=int, default=None)
     args = parser.parse_args(argv)
@@ -358,6 +476,23 @@ def main(argv=None) -> int:
             json.dump(data, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"recorded scale points to {BENCH_JSON}")
+        return 0
+
+    if args.telemetry:
+        results = run_telemetry_benchmarks(
+            args.rows or GERMANCREDIT_ROWS, args.repeats or 3
+        )
+        data = {}
+        if os.path.exists(BENCH_JSON):
+            with open(BENCH_JSON) as handle:
+                data = json.load(handle)
+        data["telemetry"] = results
+        with open(BENCH_JSON, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"recorded telemetry overhead to {BENCH_JSON}")
+        for key, value in results.items():
+            print(f"  {key}: {value}")
         return 0
 
     n_rows = args.rows or (SMOKE_ROWS if args.smoke else GERMANCREDIT_ROWS)

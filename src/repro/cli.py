@@ -32,6 +32,11 @@ Commands
     ``/metrics`` and ``/healthz``.
 ``registry --registry PATH [--list | --promote ID | --rollback]``
     Inspect and manage tags in a model registry.
+``trace --dir DIR [--strict --json]``
+    Summarize a telemetry trace directory (written by ``grid
+    --trace-dir`` or ``REPRO_TRACE_DIR``): per-stage time totals across
+    every process and the run's critical path; ``--strict`` verifies the
+    spans stitch into exactly one tree.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import telemetry
 from .analysis import format_table, summary
 from .core import (
     CalibratedEqOddsPostProcessor,
@@ -212,6 +218,20 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="tag to promote the exported model to (repeatable)",
     )
+    p_grid.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress and coordinator event lines on stderr "
+        "(the result table still prints)",
+    )
+    p_grid.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="enable span tracing: every process (coordinator and "
+        "workers) appends spans to its own JSONL file in DIR; inspect "
+        "with `repro trace --dir DIR`",
+    )
 
     p_worker = sub.add_parser(
         "grid-worker", help="join a distributed grid run as a worker"
@@ -235,6 +255,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="local frame store directory holding the coordinator's "
         "dataset (required when the coordinator grid runs on a store; "
         "fingerprints must match)",
+    )
+    p_worker.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress per-lease event lines on stderr",
+    )
+    p_worker.add_argument(
+        "--trace-dir",
+        default=None,
+        metavar="DIR",
+        help="append this worker's spans to its own JSONL file in DIR "
+        "(adopts the coordinator's trace id, so a shared DIR stitches "
+        "into one tree)",
+    )
+
+    p_trace = sub.add_parser(
+        "trace", help="summarize a telemetry trace directory"
+    )
+    p_trace.add_argument(
+        "--dir",
+        required=True,
+        metavar="DIR",
+        dest="trace_dir",
+        help="trace directory written via --trace-dir / REPRO_TRACE_DIR",
+    )
+    p_trace.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero unless the trace stitches into exactly one "
+        "span tree with no torn lines",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable summary instead of the report",
     )
 
     p_export = sub.add_parser(
@@ -354,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_registry(args)
     if args.command == "grid-worker":
         return _cmd_grid_worker(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
     return _cmd_grid(args)
 
 
@@ -517,6 +574,10 @@ def _cmd_grid(args) -> int:
     if args.resume and not args.output:
         print("--resume requires --output (the store to resume from)", file=sys.stderr)
         return 2
+    if args.trace_dir:
+        telemetry.configure(trace_dir=args.trace_dir)
+    if args.quiet:
+        telemetry.set_quiet(True)
     store = ResultsStore(args.output) if args.output else None
     if args.frame_store:
         from .core import open_store_dataset
@@ -539,13 +600,18 @@ def _cmd_grid(args) -> int:
     executor = None
     if args.distributed:
         executor = _make_coordinator(args, missing, dataset_fingerprint)
-    print(f"executing {grid.size()} runs on {args.dataset} ...", file=sys.stderr)
+    telemetry.log_line(f"executing {grid.size()} runs on {args.dataset} ...")
+    progress = None
+    if not args.quiet:
+        progress = lambda done, total, _: print(  # noqa: E731
+            f"  {done}/{total}", end="\r", file=sys.stderr
+        )
     results = run_grid(
         (frame, spec),
         grid,
         protected_attribute=args.protected,
         results_store=store,
-        progress=lambda done, total, _: print(f"  {done}/{total}", end="\r", file=sys.stderr),
+        progress=progress,
         jobs=args.jobs,
         resume=args.resume,
         executor=executor,
@@ -553,7 +619,8 @@ def _cmd_grid(args) -> int:
         export=args.export,
         export_tags=args.export_tag,
     )
-    print(file=sys.stderr)
+    if not args.quiet:
+        print(file=sys.stderr)
     if executor is not None and executor.stats is not None:
         _print_distributed_summary(executor.stats)
     rows = []
@@ -578,6 +645,7 @@ def _cmd_grid(args) -> int:
     ))
     if store:
         print(f"\nper-run records written to {args.output}")
+        print(f"run manifest: {args.output}.manifest.json")
     if args.export:
         print(f"best pipeline exported to registry {args.export}")
     return 0
@@ -616,17 +684,18 @@ def _make_coordinator(args, missing: Optional[str], store_fingerprint):
         on_event=_distributed_event,
     )
     host, port = executor.address
-    print(f"coordinator listening on {host}:{port}", file=sys.stderr, flush=True)
-    print(
-        f"join with: repro grid-worker --connect {host}:{port}",
-        file=sys.stderr,
-        flush=True,
-    )
+    telemetry.log_line(f"coordinator listening on {host}:{port}")
+    telemetry.log_line(f"join with: repro grid-worker --connect {host}:{port}")
     return executor
 
 
 def _distributed_event(payload: dict) -> None:
-    """Coordinator observability: one stderr line per lease-queue event."""
+    """Coordinator observability: one stderr line per lease-queue event.
+
+    Lines go through :func:`telemetry.log_line` — one syscall per whole
+    line, so forked workers and coordinator threads sharing the tty can
+    never interleave mid-line, and ``--quiet`` silences them together.
+    """
     event = payload.get("event")
     if event == "worker-registered":
         line = f"worker {payload['worker']} registered"
@@ -649,27 +718,25 @@ def _distributed_event(payload: dict) -> None:
         line = f"worker {payload['worker']} error: {payload['message']}"
     else:
         return
-    print(f"[coordinator] {line}", file=sys.stderr, flush=True)
+    telemetry.log_line(f"[coordinator] {line}")
 
 
 def _print_distributed_summary(stats: dict) -> None:
     workers = stats.get("workers", {})
-    print(
+    telemetry.log_line(
         f"distributed summary: {len(workers)} worker(s) seen, "
         f"{stats['completed']}/{stats['total']} runs merged, "
         f"{stats['requeued']} keys re-queued, "
         f"{stats['duplicates']} duplicates dropped, "
-        f"{stats['stale_results']} stale results recovered",
-        file=sys.stderr,
+        f"{stats['stale_results']} stale results recovered"
     )
     for name in sorted(workers):
         record = workers[name]
         hits = max(record["runs"] - record["prep_builds"], 0)
-        print(
+        telemetry.log_line(
             f"  {name}: {record['runs']} runs in {record['groups']} "
             f"group(s), prep-cache hits {hits}, "
-            f"{record['seconds']:.2f}s busy",
-            file=sys.stderr,
+            f"{record['seconds']:.2f}s busy"
         )
 
 
@@ -682,6 +749,10 @@ def _cmd_grid_worker(args) -> int:
         worker_loop,
     )
 
+    if args.trace_dir:
+        telemetry.configure(trace_dir=args.trace_dir)
+    if args.quiet:
+        telemetry.set_quiet(True)
     try:
         address = parse_address(args.connect)
     except ValueError as error:
@@ -739,7 +810,7 @@ def _cmd_grid_worker(args) -> int:
         name = payload.pop("worker", "worker")
         kind = payload.pop("event", "?")
         detail = " ".join(f"{k}={v}" for k, v in payload.items())
-        print(f"[{name}] {kind} {detail}".rstrip(), file=sys.stderr, flush=True)
+        telemetry.log_line(f"[{name}] {kind} {detail}".rstrip())
 
     try:
         stats = worker_loop(
@@ -760,6 +831,28 @@ def _cmd_grid_worker(args) -> int:
         f"{stats['groups']} group(s), prep-cache hits {hits}, "
         f"{stats['seconds']:.2f}s busy"
     )
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+    import os
+
+    from .telemetry import trace as trace_tools
+
+    if not os.path.isdir(args.trace_dir):
+        print(f"no trace directory at {args.trace_dir}", file=sys.stderr)
+        return 2
+    summary_dict = trace_tools.summarize(args.trace_dir)
+    if args.json:
+        print(json.dumps(summary_dict, indent=1, sort_keys=True))
+    else:
+        print(trace_tools.render_report(summary_dict))
+    if args.strict:
+        problem = trace_tools.check_single_tree(summary_dict)
+        if problem is not None:
+            print(f"strict check failed: {problem}", file=sys.stderr)
+            return 1
     return 0
 
 

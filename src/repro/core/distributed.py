@@ -64,7 +64,7 @@ import warnings
 from collections import deque
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
-from .. import parallel
+from .. import parallel, telemetry
 from .executors import (
     Executor,
     iter_config_group,
@@ -181,6 +181,9 @@ class Coordinator:
         if lease_seconds <= 0:
             raise ValueError(f"lease_seconds must be > 0, got {lease_seconds}")
         self._sock = sock
+        # captured on the owning executor thread (inside its open
+        # grid.run span) so remote workers can parent their spans there
+        self._trace_context = telemetry.trace_context()
         self._queue = deque([list(group) for group in groups if group])
         self._total = sum(len(group) for group in self._queue)
         self._emit_group = emit_group
@@ -323,6 +326,8 @@ class Coordinator:
             "lease_seconds": self.lease_seconds,
             "total": self._total,
         }
+        if self._trace_context is not None:
+            welcome["trace"] = self._trace_context
         if frame.get("needs_manifest"):
             welcome["manifest"] = self.manifest
         send_frame(conn, welcome)
@@ -524,6 +529,11 @@ class Coordinator:
             self._stopping.wait(tick)
 
     def _event(self, payload: dict) -> None:
+        # every lease-queue event is a telemetry event first (a counter
+        # always, a trace-log record when tracing), then the callback
+        telemetry.record_event(
+            f"distributed.{payload.get('event', 'unknown')}", dict(payload)
+        )
         if self._on_event is not None:
             try:
                 self._on_event(dict(payload))
@@ -581,6 +591,11 @@ def worker_loop(
         if welcome is None or welcome.get("type") != "welcome":
             raise ProtocolError(f"expected a welcome frame, got {welcome!r}")
         lease_seconds = float(welcome.get("lease_seconds", DEFAULT_LEASE_SECONDS))
+        # a remote worker tracing into its own trace dir adopts the
+        # coordinator's trace id + root span so the per-process files
+        # stitch into the coordinator's tree (forked localhost workers
+        # inherit the open span stack through fork instead)
+        telemetry.adopt_context(welcome.get("trace"))
         if plan is None:
             manifest = welcome.get("manifest")
             if manifest is None:
@@ -630,19 +645,25 @@ def worker_loop(
             )
             heartbeat.start()
             try:
-                for config, result in iter_config_group(
-                    plan, group, share_preparation
+                with telemetry.span(
+                    "distributed.lease",
+                    lease=lease_id,
+                    worker=worker_id,
+                    keys=len(group),
                 ):
-                    with send_lock:
-                        send_frame(
-                            sock,
-                            {
-                                "type": "result",
-                                "lease": lease_id,
-                                "run_key": config.run_key,
-                                "result": result.to_dict(),
-                            },
-                        )
+                    for config, result in iter_config_group(
+                        plan, group, share_preparation
+                    ):
+                        with send_lock:
+                            send_frame(
+                                sock,
+                                {
+                                    "type": "result",
+                                    "lease": lease_id,
+                                    "run_key": config.run_key,
+                                    "result": result.to_dict(),
+                                },
+                            )
             finally:
                 stop_heartbeat.set()
                 heartbeat.join()

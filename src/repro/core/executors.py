@@ -38,7 +38,7 @@ import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence
 
-from .. import parallel
+from .. import parallel, telemetry
 from ..datasets import DatasetSpec
 from ..frame import DataFrame
 from .components import component_fingerprint
@@ -59,6 +59,7 @@ class ExecutionPlan:
     grid: GridSpec
     configs: List[RunConfig]
     protected_attribute: Optional[str] = None
+    dataset_fingerprint: Optional[str] = None
 
     @classmethod
     def for_grid(
@@ -82,6 +83,7 @@ class ExecutionPlan:
             grid=grid,
             configs=configs,
             protected_attribute=protected_attribute,
+            dataset_fingerprint=dataset_fingerprint,
         )
 
 
@@ -120,16 +122,32 @@ def iter_config_group(
         experiment = build_experiment(plan, config)
         if share_preparation:
             if splits is None:
-                splits = experiment.prepare_splits()
+                with telemetry.span(
+                    "stage.prepare_splits", prep_key=config.prep_key
+                ):
+                    splits = experiment.prepare_splits()
+                telemetry.counter("executor.prep_splits_built").inc()
+            else:
+                telemetry.counter("executor.prep_cache_hits").inc()
             pre_fingerprint = component_fingerprint(experiment.pre_processor)
             prepared = prepared_cache.get(pre_fingerprint)
             if prepared is None:
-                prepared = experiment.prepare(splits)
+                with telemetry.span(
+                    "stage.prepare",
+                    prep_key=config.prep_key,
+                    run_key=config.run_key,
+                ):
+                    prepared = experiment.prepare(splits)
                 prepared_cache[pre_fingerprint] = prepared
-            trained = experiment.train_candidates(prepared)
-            result = experiment.evaluate(prepared, trained)
+            else:
+                telemetry.counter("executor.prepared_cache_hits").inc()
+            with telemetry.span("stage.train", run_key=config.run_key):
+                trained = experiment.train_candidates(prepared)
+            with telemetry.span("stage.evaluate", run_key=config.run_key):
+                result = experiment.evaluate(prepared, trained)
         else:
-            result = experiment.run()
+            with telemetry.span("stage.run", run_key=config.run_key):
+                result = experiment.run()
         result.run_key = config.run_key
         yield config, result
 
@@ -214,7 +232,17 @@ class Executor(abc.ABC):
                 finish(config, result)
 
         if pending:
-            self._execute(plan, pending, emit_group)
+            # the run's root span: every stage span — including those in
+            # forked workers, which inherit this open span via the
+            # thread-local stack — parents under it, so one grid run
+            # stitches into one tree
+            with telemetry.span(
+                "grid.run",
+                backend=type(self).__name__,
+                total=total,
+                pending=len(pending),
+            ):
+                self._execute(plan, pending, emit_group)
         return [slots[config.index] for config in configs]
 
     @abc.abstractmethod

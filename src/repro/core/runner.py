@@ -10,8 +10,13 @@ processes — while deduplicating shared preparation work.
 
 from __future__ import annotations
 
+import json
+import os
+import tempfile
+import time
 from typing import Callable, List, Optional, Tuple, Union
 
+from .. import telemetry
 from ..datasets import DatasetSpec, dataset_spec, load_dataset
 from ..frame import DataFrame
 from .executors import (
@@ -102,12 +107,89 @@ def run_grid(
     )
     if executor is None:
         executor = ParallelExecutor(jobs=jobs) if jobs > 1 else SerialExecutor()
+    started = time.time()
+    stages_before = telemetry.aggregate_state()
     results = executor.run(
         plan, results_store=results_store, resume=resume, progress=progress
     )
+    if results_store is not None:
+        write_run_manifest(
+            results_store,
+            plan,
+            executor,
+            wall_seconds=time.time() - started,
+            stage_timings=telemetry.aggregate_delta(stages_before),
+        )
     if export is not None and results:
         export_best(plan, results, export, tags=export_tags)
     return results
+
+
+def manifest_path(store: ResultsStore) -> str:
+    """Where a grid's run manifest lives, next to its results store."""
+    return store.path + ".manifest.json"
+
+
+def write_run_manifest(
+    store: ResultsStore,
+    plan: ExecutionPlan,
+    executor: Executor,
+    wall_seconds: float,
+    stage_timings: Optional[dict] = None,
+) -> str:
+    """Persist the audit record of one grid run next to its results.
+
+    The manifest makes a sweep self-describing after the fact: the
+    configuration fingerprints it expanded to, which executor backend ran
+    it, how long it took (wall clock plus per-stage span totals when
+    tracing was on), and the distributed lease statistics if any. Written
+    through a temp file + atomic rename, same as the store itself, and
+    rewritten whole on every run (including resumes).
+    """
+    prep_keys = sorted({config.prep_key for config in plan.configs})
+    manifest = {
+        "manifest_version": 1,
+        "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "dataset": plan.spec.name,
+        "dataset_fingerprint": plan.dataset_fingerprint,
+        "rows": plan.frame.num_rows,
+        "protected_attribute": plan.protected_attribute,
+        "executor": type(executor).__name__,
+        "grid_size": len(plan.configs),
+        "prep_groups": len(prep_keys),
+        "prep_keys": prep_keys,
+        "run_keys": [config.run_key for config in plan.configs],
+        "wall_seconds": round(wall_seconds, 6),
+        "stage_timings": stage_timings or {},
+        "telemetry": {
+            "tracing": telemetry.tracing_enabled(),
+            "trace_dir": telemetry.trace_dir(),
+            "counters": telemetry.metrics_state()["counters"],
+        },
+        "results_path": os.path.basename(store.path),
+    }
+    distributed_stats = getattr(executor, "stats", None)
+    if isinstance(distributed_stats, dict):
+        manifest["distributed"] = distributed_stats
+    path = manifest_path(store)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return path
 
 
 def export_best(
@@ -146,7 +228,9 @@ __all__ = [
     "GridSpec",
     "Intervention",
     "export_best",
+    "manifest_path",
     "open_store_dataset",
     "run_grid",
     "route_intervention",
+    "write_run_manifest",
 ]

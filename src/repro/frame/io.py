@@ -23,11 +23,13 @@ from __future__ import annotations
 
 import csv
 import io
+import os
 from itertools import islice, repeat
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry
 from .column import CATEGORICAL, NUMERIC, Column
 from .dataframe import DataFrame
 
@@ -227,7 +229,16 @@ def read_csv_chunked(
     if numeric_columns:
         for name in numeric_columns:
             kinds.setdefault(name, NUMERIC)
-    with open(path, newline="") as handle:
+    # detached: a generator's span must not sit on the thread's nesting
+    # stack while the frame is suspended between batches
+    read_span = telemetry.span(
+        "frame.read_csv_chunked",
+        detached=True,
+        path=os.path.basename(path),
+        chunk_rows=chunk_rows,
+    )
+    chunks_read = 0
+    with open(path, newline="") as handle, read_span:
         records = _iter_records(handle)
         try:
             header_text = next(records)
@@ -254,6 +265,8 @@ def read_csv_chunked(
                             NUMERIC if _all_parse_as_float(fields) else CATEGORICAL
                         )
                 first = False
+            telemetry.counter("frame.chunks_read").inc()
+            chunks_read += 1
             yield DataFrame(
                 [
                     _build_chunk_column(name, fields, kinds[name], path)
@@ -261,6 +274,7 @@ def read_csv_chunked(
                 ]
             )
             row_offset += len(columns[0])
+        read_span.set(chunks=chunks_read, rows=row_offset)
         if first:
             raise ValueError(f"{path}: CSV has a header but no data rows")
 

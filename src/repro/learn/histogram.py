@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from .. import telemetry
 from .splitter import (
     _children_gain,
     _impurity,
@@ -73,6 +74,10 @@ class HistogramBinning:
             raise ValueError(f"max_bins must lie in [2, {MAX_BINS}], got {max_bins}")
         self.matrix = X
         n, d = X.shape
+        with telemetry.span("learn.histogram_build", rows=n, features=d):
+            self._build(X, n, d, max_bins)
+
+    def _build(self, X, n, d, max_bins):
         self.codes = np.empty((d, n), dtype=np.uint8)
         self.n_bins = np.empty(d, dtype=np.int32)
         self.lower = []

@@ -30,6 +30,7 @@ from typing import Optional
 
 import numpy as np
 
+from .. import telemetry
 from ..serialize import labels_from_state, labels_to_state, serializable
 from .base import (
     BaseEstimator,
@@ -142,7 +143,10 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
         onehot = np.zeros((X.shape[0], len(self.classes_)))
         onehot[np.arange(X.shape[0]), y_codes] = sample_weight
         splitter = self._make_splitter(X, onehot, presort)
-        self.tree_ = self._grow(X, onehot, splitter)
+        with telemetry.span(
+            "learn.tree_fit", backend=self.fit_backend_, rows=int(X.shape[0])
+        ):
+            self.tree_ = self._grow(X, onehot, splitter)
         self.depth_ = _tree_depth(self.tree_)
         self.n_leaves_ = _count_leaves(self.tree_)
         return self
@@ -160,6 +164,10 @@ class DecisionTreeClassifier(BaseEstimator, ClassifierMixin):
             mode = (
                 "histogram" if X.shape[0] >= HISTOGRAM_AUTO_THRESHOLD else "exact"
             )
+        if mode in ("exact", "histogram"):
+            # the resolved backend, recorded for benches and manifests
+            self.fit_backend_ = mode
+            telemetry.counter(f"learn.tree_fit.{mode}").inc()
         if mode == "exact":
             return PresortSplitter(
                 X, onehot, self.criterion, self.min_samples_leaf, presort=hint

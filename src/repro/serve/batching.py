@@ -33,11 +33,13 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from concurrent.futures import Future
 from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from .. import telemetry
 from .scoring import DROPPED_RECORD_ERROR, ScoringEngine, records_to_frame
 
 
@@ -88,6 +90,14 @@ class MicroBatcher:
         self._closed = False
         self._batches_dispatched = 0
         self._coalesced_records = 0
+        # live queue-depth gauge, weakly bound: the registry entry must
+        # never keep a replaced batcher (its thread, its engine) alive
+        ref = weakref.ref(self)
+        telemetry.gauge("serve.batch_queue_depth").set_fn(
+            lambda: float(len(batcher._queue))
+            if (batcher := ref()) is not None
+            else 0.0
+        )
         self._thread = threading.Thread(
             target=self._run, name="repro-microbatcher", daemon=True
         )
@@ -210,6 +220,9 @@ class MicroBatcher:
         with self._cond:
             self._batches_dispatched += 1
             self._coalesced_records += len(batch)
+        telemetry.histogram(
+            "serve.batch_size", telemetry.SIZE_BOUNDS
+        ).observe(len(batch))
         if len(batch) == 1:
             self._score_individually(batch)
             return

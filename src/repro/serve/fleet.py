@@ -49,6 +49,7 @@ import threading
 import time
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from .. import telemetry
 from .monitor import FairnessMonitor
 from .service import ScoringService, make_server
 
@@ -202,6 +203,16 @@ class FleetView:
             out["alerts"] = [
                 alert.describe() for alert in merged.check(snapshot)
             ]
+        out["handler_errors"] = sum(
+            s.get("handler_errors", 0) for s in reachable
+        )
+        telemetry_states = [
+            s["telemetry"]
+            for s in reachable
+            if isinstance(s.get("telemetry"), dict)
+        ]
+        if telemetry_states:
+            out["telemetry"] = telemetry.merge_states(telemetry_states)
         return out
 
     @staticmethod

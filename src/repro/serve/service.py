@@ -29,17 +29,26 @@ import json
 import math
 import os
 import socket
+import sys
 import threading
 import time
 from http.server import ThreadingHTTPServer
 from socketserver import StreamRequestHandler
 from typing import Any, Dict, List, Optional
 
+from .. import telemetry
 from .batching import BatcherClosed, MicroBatcher, ServiceOverloaded
 from .monitor import FairnessMonitor
 from .scoring import ScoringEngine, records_to_frame
 
 MAX_BODY_BYTES = 16 * 1024 * 1024
+
+#: connection-teardown errors are routine under load; this guard keeps an
+#: error storm visible (one structured line per token, a counter always)
+#: without flooding stderr
+_HANDLER_ERROR_LOG = telemetry.RateLimitedLog(
+    rate=5.0, burst=10, suppressed_counter="serve.handler_errors_suppressed"
+)
 
 
 def json_safe(value: Any) -> Any:
@@ -184,6 +193,8 @@ class ScoringService:
             out["alerts"] = [
                 alert.describe() for alert in self.monitor.check(snapshot)
             ]
+        out["handler_errors"] = telemetry.counter("serve.handler_errors").value
+        out["telemetry"] = telemetry.metrics_state()
         return out
 
     def state(self) -> Dict[str, Any]:
@@ -217,6 +228,8 @@ class ScoringService:
             out["queue_depth"] = stats["queue_depth"]
         if self.monitor is not None:
             out["monitor"] = self.monitor.state()
+        out["handler_errors"] = telemetry.counter("serve.handler_errors").value
+        out["telemetry"] = telemetry.metrics_state()
         return out
 
     def score(self, payload: Any) -> Dict[str, Any]:
@@ -247,6 +260,11 @@ class ScoringService:
             # mutually consistent: requests == successes + errors always,
             # and records_scored never counts a failed request
             elapsed = (time.time() - started) * 1000.0
+            telemetry.histogram(
+                "serve.request_latency_ms", telemetry.LATENCY_BOUNDS_MS
+            ).observe(elapsed)
+            if result is None:
+                telemetry.counter("serve.request_errors").inc()
             with self._lock:
                 self._inflight -= 1
                 self._requests += 1
@@ -382,10 +400,17 @@ def make_server(
             self, method: bytes, path: str, length: int, keep_alive: bool
         ) -> bool:
             if method == b"GET":
+                route, _, query = path.partition("?")
                 try:
-                    if path == "/healthz":
+                    if route == "/healthz":
                         return self._respond(200, service.health(), keep_alive)
-                    if path == "/metrics":
+                    if route == "/metrics":
+                        if "format=prometheus" in query:
+                            return self._respond_text(
+                                200,
+                                render_exposition(service.metrics()),
+                                keep_alive,
+                            )
                         return self._respond(200, service.metrics(), keep_alive)
                 except Exception as error:  # pragma: no cover - defensive
                     return self._respond(
@@ -436,16 +461,32 @@ def make_server(
         def _respond(
             self, status: int, payload: Dict[str, Any], keep_alive: bool
         ) -> bool:
+            return self._send(
+                status, dumps_strict(payload), "application/json", keep_alive
+            )
+
+        def _respond_text(
+            self, status: int, text: str, keep_alive: bool
+        ) -> bool:
+            return self._send(
+                status,
+                text.encode("utf-8"),
+                "text/plain; version=0.0.4; charset=utf-8",
+                keep_alive,
+            )
+
+        def _send(
+            self, status: int, body: bytes, content_type: str, keep_alive: bool
+        ) -> bool:
             if service.draining:
                 # finish this response, then hand the connection back so
                 # the worker can exit without stranding keep-alive peers
                 keep_alive = False
-            body = dumps_strict(payload)
             reason = _REASONS.get(status, "Unknown")
             connection = "keep-alive" if keep_alive else "close"
             head = (
                 f"HTTP/1.1 {status} {reason}\r\n"
-                "Content-Type: application/json\r\n"
+                f"Content-Type: {content_type}\r\n"
                 f"Content-Length: {len(body)}\r\n"
                 f"Connection: {connection}\r\n"
                 "\r\n"
@@ -462,8 +503,10 @@ def make_server(
 
         def handle_error(self, request, client_address):
             # connection teardown races are routine under load; everything
-            # else is already answered with a 500 by the handler
-            pass
+            # else is already answered with a 500 by the handler. Count
+            # every one (an error storm must show in /metrics) and log a
+            # structured line while the rate budget lasts.
+            handle_connection_error(client_address)
 
     server = Server((host, port), Handler, bind_and_activate=False)
     if sock is not None:
@@ -485,6 +528,62 @@ def make_server(
         server.server_close()
         raise
     return server
+
+
+def handle_connection_error(client_address: Any) -> None:
+    """Record one connection-handler failure (called from an ``except``).
+
+    The telemetry counter makes error storms visible in ``/metrics``
+    (``handler_errors``, summed fleet-wide); the structured stderr line is
+    token-bucket rate-limited so a storm reports its first few instances
+    plus a suppressed count instead of flooding the tty.
+    """
+    telemetry.counter("serve.handler_errors").inc()
+    error = sys.exc_info()[1]
+    address = None
+    if isinstance(client_address, tuple) and len(client_address) >= 2:
+        address = f"{client_address[0]}:{client_address[1]}"
+    _HANDLER_ERROR_LOG.log(
+        {
+            "event": "serve.handler_error",
+            "pid": os.getpid(),
+            "client": address,
+            "error": (
+                f"{type(error).__name__}: {error}"
+                if error is not None
+                else "unknown"
+            ),
+            "suppressed": _HANDLER_ERROR_LOG.suppressed,
+        }
+    )
+
+
+def render_exposition(metrics: Dict[str, Any]) -> str:
+    """Prometheus text form of a ``/metrics`` payload (local or fleet).
+
+    The service's own locked counters map onto ``serve_*`` series; the
+    embedded telemetry registry state (already fleet-merged when the
+    payload came through a FleetView) renders as-is. The two never share
+    a name, so the overlay cannot double-count.
+    """
+    base = {
+        "counters": {
+            "serve.requests": int(metrics.get("requests", 0)),
+            "serve.errors": int(metrics.get("errors", 0)),
+            "serve.records_scored": int(metrics.get("records_scored", 0)),
+        },
+        "gauges": {},
+        "histograms": {},
+    }
+    fleet = metrics.get("fleet")
+    if isinstance(fleet, dict):
+        base["gauges"]["serve.fleet_size"] = float(fleet.get("size", 0))
+        base["gauges"]["serve.workers_alive"] = float(
+            fleet.get("workers_alive", 0)
+        )
+    state = metrics.get("telemetry")
+    merged = telemetry.merge_states([base, state]) if state else base
+    return telemetry.render_prometheus(merged)
 
 
 def _percentile(sorted_values: List[float], q: float) -> float:

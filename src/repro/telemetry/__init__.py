@@ -1,0 +1,78 @@
+"""Unified telemetry: spans, metrics, trace logs, and exposition.
+
+Zero-dependency instrumentation threaded through the experiment engine,
+the distributed grid executor, and the serving fleet. See
+:mod:`repro.telemetry.core` for the runtime (spans + sinks),
+:mod:`repro.telemetry.metrics` for the instruments, and
+:mod:`repro.telemetry.trace` for the trace-log reader behind
+``repro trace``.
+
+Quick use::
+
+    from repro import telemetry
+
+    telemetry.counter("frame.chunks_read").inc()
+    with telemetry.span("stage.train", run_key=key):
+        ...
+
+Spans are no-ops unless ``REPRO_TRACE_DIR`` (or ``configure``) enables
+tracing; ``REPRO_TELEMETRY=0`` disables everything.
+"""
+
+from .core import (
+    NOOP_SPAN,
+    RateLimitedLog,
+    Span,
+    adopt_context,
+    aggregate_delta,
+    aggregate_state,
+    configure,
+    counter,
+    gauge,
+    histogram,
+    log_line,
+    metrics_enabled,
+    metrics_state,
+    record_event,
+    reset_for_tests,
+    set_quiet,
+    span,
+    trace_context,
+    trace_dir,
+    tracing_enabled,
+)
+from .metrics import (
+    LATENCY_BOUNDS_MS,
+    SIZE_BOUNDS,
+    merge_states,
+    render_prometheus,
+)
+from . import trace
+
+__all__ = [
+    "LATENCY_BOUNDS_MS",
+    "NOOP_SPAN",
+    "RateLimitedLog",
+    "SIZE_BOUNDS",
+    "Span",
+    "adopt_context",
+    "aggregate_delta",
+    "aggregate_state",
+    "configure",
+    "counter",
+    "gauge",
+    "histogram",
+    "log_line",
+    "merge_states",
+    "metrics_enabled",
+    "metrics_state",
+    "record_event",
+    "render_prometheus",
+    "reset_for_tests",
+    "set_quiet",
+    "span",
+    "trace",
+    "trace_context",
+    "trace_dir",
+    "tracing_enabled",
+]

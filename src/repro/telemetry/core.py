@@ -1,0 +1,506 @@
+"""Telemetry runtime: spans, the trace sink, and process-global state.
+
+Design constraints, in order:
+
+1. **Free when off.** Metrics are on by default (single attribute adds);
+   spans are off by default and ``span(...)`` then returns one shared
+   no-op object — no allocation, no clock read. ``REPRO_TELEMETRY=0``
+   kills everything.
+2. **Fork-safe.** Grid executors fork workers while coordinator threads
+   are live. The trace sink therefore never holds a lock across a write:
+   each record is one ``os.write`` on an ``O_APPEND`` fd, and the fd is
+   reopened (as a new per-process file) whenever the pid changes. Every
+   registry lock is re-armed via ``os.register_at_fork``.
+3. **One tree per run.** Span ids are ``host:pid-seq``; children record
+   their parent's id. Forked workers inherit the coordinator's open span
+   stack (so their spans parent under ``grid.run``); remote workers
+   adopt a trace context handed to them in the coordinator's welcome
+   frame. Each process writes its own ``trace-<host>-<pid>.jsonl``; the
+   reader stitches the directory back into one tree.
+
+Enable tracing with ``REPRO_TRACE_DIR=/path`` (or
+:func:`configure`\\ ``(trace_dir=...)``); spans then both stream to the
+trace log and feed an in-memory per-name aggregate that run manifests
+and benchmarks snapshot.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import socket
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from .metrics import (
+    LATENCY_BOUNDS_MS,
+    MetricsRegistry,
+    NOOP_COUNTER,
+    NOOP_GAUGE,
+    NOOP_HISTOGRAM,
+    merge_states,
+    render_prometheus,
+)
+
+_HOSTNAME = socket.gethostname().split(".")[0] or "host"
+_SEQ = itertools.count(1)
+
+
+class _State:
+    __slots__ = (
+        "metrics_enabled",
+        "span_active",
+        "aggregate",
+        "writer",
+        "trace_id",
+        "base_parent",
+        "quiet",
+    )
+
+    def __init__(self):
+        self.metrics_enabled = True
+        self.span_active = False
+        self.aggregate: Dict[str, "_SpanAggregate"] = {}
+        self.writer: Optional[_TraceWriter] = None
+        self.trace_id: Optional[str] = None
+        self.base_parent: Optional[str] = None
+        self.quiet = False
+
+
+_STATE = _State()
+_REGISTRY = MetricsRegistry()
+_TLS = threading.local()
+
+
+def _stack() -> list:
+    stack = getattr(_TLS, "stack", None)
+    if stack is None:
+        stack = _TLS.stack = []
+    return stack
+
+
+def _span_id() -> str:
+    return f"{_HOSTNAME}:{os.getpid()}-{next(_SEQ)}"
+
+
+# ----------------------------------------------------------------------
+# trace sink
+# ----------------------------------------------------------------------
+class _TraceWriter:
+    """Crash-safe JSONL sink: one file per process, one atomic append
+    per record. A torn final line (process killed mid-write) is tolerated
+    by the reader; everything before it is intact."""
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        self._fd: Optional[int] = None
+        self._pid: Optional[int] = None
+        self._lock = threading.Lock()
+        os.makedirs(directory, exist_ok=True)
+
+    def path_for_pid(self) -> str:
+        return os.path.join(
+            self.directory, f"trace-{_HOSTNAME}-{os.getpid()}.jsonl"
+        )
+
+    def _ensure(self) -> int:
+        pid = os.getpid()
+        if self._fd is None or pid != self._pid:
+            with self._lock:
+                if self._fd is None or pid != self._pid:
+                    fd = os.open(
+                        self.path_for_pid(),
+                        os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                        0o644,
+                    )
+                    self._fd, self._pid = fd, pid
+        return self._fd
+
+    def write(self, record: dict) -> None:
+        try:
+            fd = self._ensure()
+            line = json.dumps(record, separators=(",", ":"), default=str)
+            os.write(fd, (line + "\n").encode("utf-8"))
+        except OSError:
+            pass  # a full/unlinked trace dir must never kill the run
+
+    def rearm(self) -> None:
+        self._lock = threading.Lock()
+
+
+def _after_fork_in_child() -> None:
+    _REGISTRY.rearm_locks()
+    writer = _STATE.writer
+    if writer is not None:
+        writer.rearm()
+
+
+os.register_at_fork(after_in_child=_after_fork_in_child)
+
+
+# ----------------------------------------------------------------------
+# spans
+# ----------------------------------------------------------------------
+class _SpanAggregate:
+    __slots__ = ("count", "total")
+
+    def __init__(self):
+        self.count = 0
+        self.total = 0.0
+
+
+class Span:
+    """A timed section. Context manager; ``set(**attrs)`` adds fields."""
+
+    __slots__ = (
+        "name", "attrs", "span_id", "parent_id", "_t0", "_ts", "_detached"
+    )
+
+    def __init__(self, name: str, attrs: dict, detached: bool = False):
+        self.name = name
+        self.attrs = attrs
+        self.span_id = _span_id()
+        self.parent_id: Optional[str] = None
+        self._detached = detached
+        self._t0 = 0.0
+        self._ts = 0.0
+
+    def set(self, **attrs) -> "Span":
+        self.attrs.update(attrs)
+        return self
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.parent_id = stack[-1].span_id if stack else _STATE.base_parent
+        if not self._detached:
+            stack.append(self)
+        self._ts = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        if not self._detached:
+            stack = _stack()
+            if stack and stack[-1] is self:
+                stack.pop()
+            else:  # defensive: mis-nested exit (e.g. generator teardown)
+                try:
+                    stack.remove(self)
+                except ValueError:
+                    pass
+        aggregate = _STATE.aggregate.get(self.name)
+        if aggregate is None:
+            aggregate = _STATE.aggregate.setdefault(self.name, _SpanAggregate())
+        aggregate.count += 1
+        aggregate.total += duration
+        writer = _STATE.writer
+        if writer is not None:
+            record = {
+                "kind": "span",
+                "name": self.name,
+                "span": self.span_id,
+                "trace": _STATE.trace_id,
+                "ts": round(self._ts, 6),
+                "dur_s": round(duration, 9),
+                "pid": os.getpid(),
+            }
+            if self.parent_id:
+                record["parent"] = self.parent_id
+            if exc_type is not None:
+                record["error"] = exc_type.__name__
+            if self.attrs:
+                record["attrs"] = self.attrs
+            writer.write(record)
+        return False
+
+
+class _NoopSpan:
+    __slots__ = ()
+    span_id = None
+
+    def set(self, **attrs) -> "_NoopSpan":
+        return self
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str, detached: bool = False, **attrs):
+    """Open a timed span: ``with span("stage.train", run_key=key): ...``.
+
+    Returns the shared no-op object unless tracing is enabled. Pass
+    ``detached=True`` from generators (the span still records timing and
+    its parent, but never sits on the thread's nesting stack, where a
+    suspended generator frame could mis-scope unrelated spans).
+    """
+    if not _STATE.span_active:
+        return NOOP_SPAN
+    return Span(name, attrs, detached=detached)
+
+
+def record_event(name: str, fields: Optional[dict] = None) -> None:
+    """Count an event and, when tracing, append it to the trace log."""
+    if _STATE.metrics_enabled:
+        _REGISTRY.counter(name).inc()
+    writer = _STATE.writer
+    if writer is not None:
+        stack = _stack()
+        record = {
+            "kind": "event",
+            "name": name,
+            "trace": _STATE.trace_id,
+            "ts": round(time.time(), 6),
+            "pid": os.getpid(),
+        }
+        parent = stack[-1].span_id if stack else _STATE.base_parent
+        if parent:
+            record["parent"] = parent
+        if fields:
+            record["fields"] = fields
+        writer.write(record)
+
+
+# ----------------------------------------------------------------------
+# configuration
+# ----------------------------------------------------------------------
+def configure(
+    trace_dir: Optional[str] = None,
+    aggregate: Optional[bool] = None,
+    quiet: Optional[bool] = None,
+    enabled: Optional[bool] = None,
+) -> None:
+    """Adjust the process-global telemetry state.
+
+    ``trace_dir`` turns tracing on (spans stream to per-process JSONL
+    files there); ``aggregate=True`` activates spans for the in-memory
+    aggregate only (no files); ``enabled=False`` is the master kill
+    switch (metrics and spans both become no-ops); ``quiet`` suppresses
+    non-forced :func:`log_line` output.
+    """
+    if enabled is not None:
+        _STATE.metrics_enabled = bool(enabled)
+        if not enabled:
+            _STATE.span_active = False
+            _STATE.writer = None
+            return
+    if quiet is not None:
+        _STATE.quiet = bool(quiet)
+    if trace_dir is not None:
+        _STATE.writer = _TraceWriter(trace_dir)
+        _STATE.span_active = True
+        if _STATE.trace_id is None:
+            _STATE.trace_id = os.urandom(8).hex()
+    if aggregate is not None:
+        if aggregate:
+            _STATE.span_active = True
+        elif _STATE.writer is None:
+            _STATE.span_active = False
+
+
+def _bootstrap_from_env() -> None:
+    value = os.environ.get("REPRO_TELEMETRY", "").strip().lower()
+    if value in ("0", "off", "false", "no"):
+        configure(enabled=False)
+        return
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if trace_dir:
+        configure(trace_dir=trace_dir)
+
+
+_bootstrap_from_env()
+
+
+def reset_for_tests() -> None:
+    """Fresh state + registry, then re-read the environment (tests only)."""
+    global _STATE, _REGISTRY
+    _STATE = _State()
+    _REGISTRY = MetricsRegistry()
+    _TLS.stack = []
+    _bootstrap_from_env()
+
+
+def tracing_enabled() -> bool:
+    return _STATE.span_active
+
+
+def metrics_enabled() -> bool:
+    return _STATE.metrics_enabled
+
+
+def trace_dir() -> Optional[str]:
+    writer = _STATE.writer
+    return writer.directory if writer is not None else None
+
+
+def trace_context() -> Optional[dict]:
+    """The (trace id, parent span) pair a remote worker should adopt so
+    its spans stitch under this process's open span."""
+    if not _STATE.span_active:
+        return None
+    stack = _stack()
+    parent = stack[-1].span_id if stack else _STATE.base_parent
+    return {"trace_id": _STATE.trace_id, "parent": parent}
+
+
+def adopt_context(context: Optional[dict]) -> None:
+    """Adopt a coordinator's trace context (no-op unless tracing here)."""
+    if not context or not _STATE.span_active:
+        return
+    if context.get("trace_id"):
+        _STATE.trace_id = context["trace_id"]
+    if context.get("parent"):
+        _STATE.base_parent = context["parent"]
+
+
+# ----------------------------------------------------------------------
+# metrics accessors (gated on the master switch)
+# ----------------------------------------------------------------------
+def counter(name: str):
+    if not _STATE.metrics_enabled:
+        return NOOP_COUNTER
+    return _REGISTRY.counter(name)
+
+
+def gauge(name: str):
+    if not _STATE.metrics_enabled:
+        return NOOP_GAUGE
+    return _REGISTRY.gauge(name)
+
+
+def histogram(name: str, bounds=LATENCY_BOUNDS_MS):
+    if not _STATE.metrics_enabled:
+        return NOOP_HISTOGRAM
+    return _REGISTRY.histogram(name, bounds)
+
+
+def metrics_state() -> dict:
+    """Snapshot of this process's metrics registry."""
+    return _REGISTRY.state()
+
+
+def aggregate_state() -> Dict[str, dict]:
+    """Per-span-name timing totals accumulated in this process."""
+    return {
+        name: {"count": agg.count, "total_s": round(agg.total, 9)}
+        for name, agg in sorted(_STATE.aggregate.items())
+    }
+
+
+def aggregate_delta(before: Dict[str, dict]) -> Dict[str, dict]:
+    """Aggregate growth since a previous :func:`aggregate_state` snapshot."""
+    delta = {}
+    for name, after in aggregate_state().items():
+        prior = before.get(name, {"count": 0, "total_s": 0.0})
+        count = after["count"] - prior["count"]
+        if count > 0:
+            delta[name] = {
+                "count": count,
+                "total_s": round(after["total_s"] - prior["total_s"], 9),
+            }
+    return delta
+
+
+# ----------------------------------------------------------------------
+# line-oriented logging (the tty sink)
+# ----------------------------------------------------------------------
+def set_quiet(quiet: bool) -> None:
+    _STATE.quiet = bool(quiet)
+
+
+def log_line(text: str, force: bool = False) -> None:
+    """Write one whole line to stderr in a single syscall.
+
+    Forked workers and coordinator threads sharing a tty interleave
+    *between* writes, never inside one, so lines emitted this way stay
+    intact however many processes log concurrently. ``--quiet``
+    (``set_quiet``) suppresses everything not marked ``force``.
+    """
+    if _STATE.quiet and not force:
+        return
+    try:
+        os.write(2, (text.rstrip("\n") + "\n").encode("utf-8", "replace"))
+    except OSError:
+        pass
+
+
+class RateLimitedLog:
+    """Token-bucket guard for structured error lines.
+
+    Allows ``burst`` lines immediately and ``rate`` per second sustained;
+    beyond that lines are counted (``suppressed``, plus an optional
+    telemetry counter) instead of flooding stderr during an error storm.
+    """
+
+    def __init__(
+        self,
+        rate: float = 5.0,
+        burst: int = 10,
+        suppressed_counter: Optional[str] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        self.rate = float(rate)
+        self.burst = int(burst)
+        self.suppressed = 0
+        self._suppressed_counter = suppressed_counter
+        self._clock = clock
+        self._tokens = float(burst)
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def allow(self) -> bool:
+        now = self._clock()
+        with self._lock:
+            self._tokens = min(
+                float(self.burst), self._tokens + (now - self._last) * self.rate
+            )
+            self._last = now
+            if self._tokens >= 1.0:
+                self._tokens -= 1.0
+                return True
+            self.suppressed += 1
+        if self._suppressed_counter is not None:
+            counter(self._suppressed_counter).inc()
+        return False
+
+    def log(self, payload: dict) -> bool:
+        """Emit one structured JSON line (rate permitting)."""
+        if not self.allow():
+            return False
+        record = {"ts": round(time.time(), 3), **payload}
+        log_line(json.dumps(record, separators=(",", ":"), default=str), force=True)
+        return True
+
+
+__all__ = [
+    "NOOP_SPAN",
+    "RateLimitedLog",
+    "Span",
+    "adopt_context",
+    "aggregate_delta",
+    "aggregate_state",
+    "configure",
+    "counter",
+    "gauge",
+    "histogram",
+    "log_line",
+    "merge_states",
+    "metrics_enabled",
+    "metrics_state",
+    "record_event",
+    "render_prometheus",
+    "reset_for_tests",
+    "set_quiet",
+    "span",
+    "trace_context",
+    "trace_dir",
+    "tracing_enabled",
+]

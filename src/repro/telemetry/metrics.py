@@ -1,0 +1,295 @@
+"""Process-local metrics: counters, gauges, and fixed-bucket histograms.
+
+The instruments live in a process-global :class:`MetricsRegistry` and are
+deliberately simple — a counter is one attribute add, a gauge one store —
+so leaving metrics enabled by default costs nanoseconds per event. Only
+histograms take a lock (their observation updates three fields that must
+stay mutually consistent); every lock in the registry is re-armed after
+``fork()`` so a child process never inherits a lock a coordinator thread
+happened to hold mid-increment.
+
+Two pure functions turn registry snapshots into transportable/renderable
+form: :func:`merge_states` sums the state dicts of many processes (the
+serving fleet's per-worker registries) into one, and
+:func:`render_prometheus` emits the Prometheus text exposition format
+(``# TYPE`` headers, cumulative ``_bucket{le=...}`` counts).
+"""
+
+from __future__ import annotations
+
+import bisect
+import re
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: request-latency style bounds, in milliseconds
+LATENCY_BOUNDS_MS: Tuple[float, ...] = (
+    0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0,
+)
+#: batch-size style bounds (counts)
+SIZE_BOUNDS: Tuple[float, ...] = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class Counter:
+    """A monotonically increasing count. ``inc`` is a single attribute
+    add — racy under free threading in the worst case (a lost increment),
+    never a deadlock — which keeps it safe to call around ``fork()``."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self):
+        self._value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self._value += n
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value: either set explicitly or computed on read
+    by a callback (e.g. a queue-depth probe)."""
+
+    __slots__ = ("_value", "_fn")
+
+    def __init__(self):
+        self._value = 0.0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        self._fn = None
+        self._value = float(value)
+
+    def set_fn(self, fn: Callable[[], float]) -> None:
+        self._fn = fn
+
+    def value(self) -> float:
+        fn = self._fn
+        if fn is not None:
+            try:
+                return float(fn())
+            except Exception:
+                return float("nan")
+        return self._value
+
+
+class Histogram:
+    """Fixed-bound bucket histogram (non-cumulative internal counts).
+
+    ``bounds`` are the inclusive upper edges of the first ``len(bounds)``
+    buckets; one overflow bucket catches everything above the last bound.
+    """
+
+    __slots__ = ("bounds", "_counts", "_sum", "_count", "_lock")
+
+    def __init__(self, bounds: Sequence[float]):
+        bounds = tuple(float(b) for b in bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(f"bounds must be strictly increasing, got {bounds!r}")
+        self.bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        index = bisect.bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._sum += value
+            self._count += 1
+
+    def state(self) -> dict:
+        with self._lock:
+            return {
+                "bounds": list(self.bounds),
+                "counts": list(self._counts),
+                "sum": self._sum,
+                "count": self._count,
+            }
+
+
+class MetricsRegistry:
+    """Name → instrument map for one process."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter())
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge())
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = LATENCY_BOUNDS_MS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(name, Histogram(bounds))
+        return instrument
+
+    def state(self) -> dict:
+        """A JSON-safe snapshot of every instrument in this registry."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = dict(self._histograms)
+        return {
+            "counters": {name: c.value for name, c in sorted(counters.items())},
+            "gauges": {name: g.value() for name, g in sorted(gauges.items())},
+            "histograms": {
+                name: h.state() for name, h in sorted(histograms.items())
+            },
+        }
+
+    def rearm_locks(self) -> None:
+        """Replace every lock with a fresh one (called after ``fork``)."""
+        self._lock = threading.Lock()
+        for histogram in self._histograms.values():
+            histogram._lock = threading.Lock()
+
+
+# ----------------------------------------------------------------------
+# pure state transforms
+# ----------------------------------------------------------------------
+def merge_states(states: Iterable[dict]) -> dict:
+    """Sum many registry snapshots (one per process) into one.
+
+    Counters and gauges add; histograms add bucket-wise when their bounds
+    agree (they always do for same-name instruments created by this
+    codebase — bounds are fixed at the call site). A histogram whose
+    bounds disagree with the first-seen ones is skipped rather than
+    corrupting the merged distribution.
+    """
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    histograms: Dict[str, dict] = {}
+    for state in states:
+        if not isinstance(state, dict):
+            continue
+        for name, value in (state.get("counters") or {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, value in (state.get("gauges") or {}).items():
+            gauges[name] = gauges.get(name, 0.0) + value
+        for name, hist in (state.get("histograms") or {}).items():
+            merged = histograms.get(name)
+            if merged is None:
+                histograms[name] = {
+                    "bounds": list(hist["bounds"]),
+                    "counts": list(hist["counts"]),
+                    "sum": hist["sum"],
+                    "count": hist["count"],
+                }
+            elif merged["bounds"] == list(hist["bounds"]):
+                merged["counts"] = [
+                    a + b for a, b in zip(merged["counts"], hist["counts"])
+                ]
+                merged["sum"] += hist["sum"]
+                merged["count"] += hist["count"]
+    return {
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": dict(sorted(histograms.items())),
+    }
+
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, prefix: str) -> str:
+    sanitized = _NAME_RE.sub("_", prefix + name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _prom_value(value: float) -> str:
+    if isinstance(value, float) and not value.is_integer():
+        return repr(value)
+    return str(int(value)) if value == value else "NaN"
+
+
+def render_prometheus(state: dict, prefix: str = "repro_") -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Bucket counts come out cumulative (``le`` semantics) with the
+    mandatory ``+Inf`` bucket, per the format spec.
+    """
+    lines: List[str] = []
+    for name, value in (state.get("counters") or {}).items():
+        metric = _prom_name(name, prefix) + "_total"
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, value in (state.get("gauges") or {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_prom_value(value)}")
+    for name, hist in (state.get("histograms") or {}).items():
+        metric = _prom_name(name, prefix)
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, count in zip(hist["bounds"], hist["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_prom_value(float(bound))}"}} {cumulative}'
+            )
+        cumulative += hist["counts"][len(hist["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {repr(float(hist['sum']))}")
+        lines.append(f"{metric}_count {int(hist['count'])}")
+    return "\n".join(lines) + "\n"
+
+
+# shared no-op instruments handed out when telemetry is disabled: same
+# interface, no state, no locks
+class NoopCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class NoopGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_fn(self, fn) -> None:
+        pass
+
+    def value(self) -> float:
+        return 0.0
+
+
+class NoopHistogram:
+    __slots__ = ()
+    bounds = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def state(self) -> dict:
+        return {"bounds": [], "counts": [0], "sum": 0.0, "count": 0}
+
+
+NOOP_COUNTER = NoopCounter()
+NOOP_GAUGE = NoopGauge()
+NOOP_HISTOGRAM = NoopHistogram()

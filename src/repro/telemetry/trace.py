@@ -1,0 +1,228 @@
+"""Trace-log reading: stitch per-process span files into one tree.
+
+Every process in a traced run appends spans to its own
+``trace-<host>-<pid>.jsonl`` inside the shared trace directory. Spans are
+written at *exit*, so children appear before their parents (and a file
+may end in a torn line if the process was killed); the loader is
+order-independent and skips unparseable lines, counting them.
+
+The report answers the two operational questions the paper's lifecycle
+argument demands of a run: *where did the time go* (per-stage totals
+across all workers) and *what bounded the wall clock* (the critical
+path — the chain of longest children under the longest root).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+
+def load_trace_dir(directory: str) -> dict:
+    """Parse every trace file in ``directory``.
+
+    Returns ``{"spans": [...], "events": [...], "files": n,
+    "bad_lines": n}`` with spans and events sorted by start timestamp.
+    """
+    spans: List[dict] = []
+    events: List[dict] = []
+    files = 0
+    bad_lines = 0
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("trace-") and name.endswith(".jsonl")):
+            continue
+        files += 1
+        with open(os.path.join(directory, name), encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    bad_lines += 1
+                    continue
+                if not isinstance(record, dict):
+                    bad_lines += 1
+                elif record.get("kind") == "span":
+                    spans.append(record)
+                elif record.get("kind") == "event":
+                    events.append(record)
+    spans.sort(key=lambda r: r.get("ts", 0.0))
+    events.sort(key=lambda r: r.get("ts", 0.0))
+    return {
+        "spans": spans,
+        "events": events,
+        "files": files,
+        "bad_lines": bad_lines,
+    }
+
+
+def build_tree(spans: List[dict]) -> Tuple[List[dict], List[dict], Dict[str, List[dict]]]:
+    """Stitch spans into a forest.
+
+    Returns ``(roots, orphans, children)``: roots have no parent id,
+    orphans reference a parent span that is missing from the log (a
+    process died before writing it), and ``children`` maps a span id to
+    its child spans.
+    """
+    by_id = {record["span"]: record for record in spans if "span" in record}
+    roots: List[dict] = []
+    orphans: List[dict] = []
+    children: Dict[str, List[dict]] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is None:
+            roots.append(record)
+        elif parent in by_id:
+            children.setdefault(parent, []).append(record)
+        else:
+            orphans.append(record)
+    return roots, orphans, children
+
+
+def stage_totals(spans: List[dict]) -> Dict[str, dict]:
+    """Per-span-name time totals across every process in the trace."""
+    totals: Dict[str, dict] = {}
+    for record in spans:
+        entry = totals.setdefault(
+            record["name"],
+            {"count": 0, "total_s": 0.0, "max_s": 0.0},
+        )
+        duration = float(record.get("dur_s", 0.0))
+        entry["count"] += 1
+        entry["total_s"] += duration
+        entry["max_s"] = max(entry["max_s"], duration)
+    for entry in totals.values():
+        entry["total_s"] = round(entry["total_s"], 6)
+        entry["max_s"] = round(entry["max_s"], 6)
+        entry["mean_s"] = round(entry["total_s"] / entry["count"], 6)
+    return dict(sorted(totals.items(), key=lambda kv: -kv[1]["total_s"]))
+
+
+def critical_path(
+    roots: List[dict], children: Dict[str, List[dict]]
+) -> List[dict]:
+    """The chain of longest-duration spans from the longest root down."""
+    if not roots:
+        return []
+    path = []
+    node = max(roots, key=lambda r: float(r.get("dur_s", 0.0)))
+    while node is not None:
+        path.append(node)
+        below = children.get(node["span"])
+        node = (
+            max(below, key=lambda r: float(r.get("dur_s", 0.0)))
+            if below
+            else None
+        )
+    return path
+
+
+def summarize(directory: str) -> dict:
+    """Everything the CLI report needs, as one JSON-safe dict."""
+    loaded = load_trace_dir(directory)
+    spans = loaded["spans"]
+    roots, orphans, children = build_tree(spans)
+    trace_ids = sorted(
+        {record.get("trace") for record in spans if record.get("trace")}
+    )
+    pids = sorted({record.get("pid") for record in spans if record.get("pid")})
+    return {
+        "directory": directory,
+        "files": loaded["files"],
+        "bad_lines": loaded["bad_lines"],
+        "spans": len(spans),
+        "events": len(loaded["events"]),
+        "trace_ids": trace_ids,
+        "processes": pids,
+        "roots": len(roots),
+        "orphans": len(orphans),
+        "stage_totals": stage_totals(spans),
+        "critical_path": [
+            {
+                "name": record["name"],
+                "dur_s": float(record.get("dur_s", 0.0)),
+                "pid": record.get("pid"),
+                "attrs": record.get("attrs", {}),
+            }
+            for record in critical_path(roots, children)
+        ],
+        "event_counts": _event_counts(loaded["events"]),
+    }
+
+
+def _event_counts(events: List[dict]) -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for record in events:
+        counts[record["name"]] = counts.get(record["name"], 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def render_report(summary: dict) -> str:
+    """Human-readable per-stage breakdown + critical path."""
+    lines = [
+        f"trace dir: {summary['directory']}",
+        f"files: {summary['files']}  spans: {summary['spans']}  "
+        f"events: {summary['events']}  processes: {len(summary['processes'])}",
+        f"span tree: {summary['roots']} root(s), "
+        f"{summary['orphans']} orphan(s), {summary['bad_lines']} torn line(s)",
+    ]
+    totals = summary["stage_totals"]
+    if totals:
+        lines.append("")
+        lines.append(
+            f"{'stage':<28} {'count':>7} {'total_s':>10} {'mean_s':>10} {'max_s':>10}"
+        )
+        for name, entry in totals.items():
+            lines.append(
+                f"{name:<28} {entry['count']:>7} {entry['total_s']:>10.3f} "
+                f"{entry['mean_s']:>10.3f} {entry['max_s']:>10.3f}"
+            )
+    path = summary["critical_path"]
+    if path:
+        lines.append("")
+        lines.append(f"critical path ({path[0]['dur_s']:.3f}s):")
+        for depth, hop in enumerate(path):
+            attrs = hop.get("attrs") or {}
+            detail = " ".join(f"{k}={v}" for k, v in sorted(attrs.items()))
+            suffix = f"  [{detail}]" if detail else ""
+            lines.append(
+                f"{'  ' * depth}{hop['name']:<{max(1, 28 - 2 * depth)}} "
+                f"{hop['dur_s']:>9.3f}s  pid={hop.get('pid')}{suffix}"
+            )
+    counts = summary["event_counts"]
+    if counts:
+        lines.append("")
+        lines.append(
+            "events: " + "  ".join(f"{k}={v}" for k, v in counts.items())
+        )
+    return "\n".join(lines)
+
+
+def check_single_tree(summary: dict) -> Optional[str]:
+    """``None`` when the trace stitches into exactly one healthy tree,
+    otherwise the reason it does not (for ``repro trace --strict``)."""
+    if summary["spans"] == 0:
+        return "trace contains no spans"
+    if summary["roots"] != 1:
+        return f"expected exactly 1 root span, found {summary['roots']}"
+    if summary["orphans"]:
+        return f"{summary['orphans']} span(s) reference a missing parent"
+    if len(summary["trace_ids"]) > 1:
+        return f"multiple trace ids present: {summary['trace_ids']}"
+    if summary["bad_lines"]:
+        return f"{summary['bad_lines']} unparseable line(s) in the trace"
+    return None
+
+
+__all__ = [
+    "build_tree",
+    "check_single_tree",
+    "critical_path",
+    "load_trace_dir",
+    "render_report",
+    "stage_totals",
+    "summarize",
+]

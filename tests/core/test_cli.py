@@ -140,3 +140,85 @@ class TestCommands:
         from repro.core import ResultsStore
 
         assert len(ResultsStore(output).load()) == 2
+
+
+class TestTelemetryCLI:
+    @pytest.fixture(autouse=True)
+    def clean_telemetry(self):
+        from repro import telemetry
+
+        telemetry.reset_for_tests()
+        yield
+        telemetry.reset_for_tests()
+
+    def test_grid_trace_dir_then_trace_strict(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "trace")
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "1",
+            "--interventions", "none", "--trace-dir", trace_dir,
+        ])
+        assert code == 0
+        capsys.readouterr()
+        assert main(["trace", "--dir", trace_dir, "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "1 root(s), 0 orphan(s)" in out
+        assert "grid.run" in out
+        assert "critical path" in out
+
+    def test_trace_json_output(self, tmp_path, capsys):
+        trace_dir = str(tmp_path / "trace")
+        main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "1",
+            "--interventions", "none", "--trace-dir", trace_dir,
+        ])
+        capsys.readouterr()
+        assert main(["trace", "--dir", trace_dir, "--json"]) == 0
+        import json
+
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["roots"] == 1
+        assert "stage.train" in summary["stage_totals"]
+
+    def test_trace_missing_dir_is_an_error(self, tmp_path, capsys):
+        assert main(["trace", "--dir", str(tmp_path / "nope")]) == 2
+        assert "no trace directory" in capsys.readouterr().err
+
+    def test_trace_strict_rejects_forest(self, tmp_path, capsys):
+        import json
+
+        trace_file = tmp_path / "trace-host-1.jsonl"
+        records = [
+            {"kind": "span", "name": "a", "span": "h:1-1", "trace": "t",
+             "ts": 0.0, "dur_s": 0.1, "pid": 1},
+            {"kind": "span", "name": "b", "span": "h:1-2", "trace": "t",
+             "ts": 0.2, "dur_s": 0.1, "pid": 1},
+        ]
+        trace_file.write_text(
+            "".join(json.dumps(r) + "\n" for r in records)
+        )
+        assert main(["trace", "--dir", str(tmp_path), "--strict"]) == 1
+        assert "expected exactly 1 root" in capsys.readouterr().err
+
+    def test_grid_quiet_suppresses_progress_keeps_table(self, capfd):
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "1",
+            "--interventions", "none", "--quiet",
+        ])
+        assert code == 0
+        captured = capfd.readouterr()
+        assert "executing" not in captured.err
+        assert "1/1" not in captured.err
+        assert "NoIntervention" in captured.out
+
+    def test_grid_writes_manifest_with_output(self, tmp_path, capfd):
+        output = str(tmp_path / "runs.jsonl")
+        code = main([
+            "grid", "--dataset", "ricci", "--no-tuning", "--seeds", "1",
+            "--interventions", "none", "--output", output, "--quiet",
+        ])
+        assert code == 0
+        import json
+
+        manifest = json.load(open(output + ".manifest.json"))
+        assert manifest["dataset"] == "ricci"
+        assert manifest["grid_size"] == 1

@@ -209,6 +209,14 @@ class TestHTTP:
             metrics = json.loads(urllib.request.urlopen(f"{base}/metrics").read())
             assert metrics["records_scored"] >= 3
 
+            response = urllib.request.urlopen(
+                f"{base}/metrics?format=prometheus"
+            )
+            assert response.headers["Content-Type"].startswith("text/plain")
+            exposition = response.read().decode()
+            assert "# TYPE repro_serve_requests_total counter" in exposition
+            assert "repro_serve_request_latency_ms_bucket" in exposition
+
             with pytest.raises(urllib.error.HTTPError) as err:
                 urllib.request.urlopen(f"{base}/nope")
             assert err.value.code == 404

@@ -1,0 +1,225 @@
+"""Telemetry runtime: span lifecycle, no-op fast path, trace files,
+fork behaviour, environment bootstrap, and rate-limited logging."""
+
+import json
+import os
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def clean_state(monkeypatch):
+    monkeypatch.delenv("REPRO_TELEMETRY", raising=False)
+    monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+    telemetry.reset_for_tests()
+    yield
+    telemetry.reset_for_tests()
+
+
+def _read_trace(directory):
+    records = []
+    for name in sorted(os.listdir(directory)):
+        if name.startswith("trace-") and name.endswith(".jsonl"):
+            with open(os.path.join(directory, name)) as handle:
+                records.extend(json.loads(line) for line in handle if line.strip())
+    return records
+
+
+class TestDefaults:
+    def test_spans_off_metrics_on_by_default(self):
+        assert not telemetry.tracing_enabled()
+        assert telemetry.metrics_enabled()
+
+    def test_span_returns_shared_noop_when_disabled(self):
+        a = telemetry.span("x")
+        b = telemetry.span("y", key=1)
+        assert a is b is telemetry.NOOP_SPAN
+        with a as opened:
+            opened.set(extra=True)  # must be a harmless no-op
+
+    def test_master_switch_disables_metrics_too(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY", "off")
+        telemetry.reset_for_tests()
+        telemetry.counter("c").inc()
+        assert telemetry.counter("c").value == 0
+        assert not telemetry.metrics_enabled()
+        assert telemetry.span("s") is telemetry.NOOP_SPAN
+
+    def test_trace_dir_env_enables_tracing(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(tmp_path))
+        telemetry.reset_for_tests()
+        assert telemetry.tracing_enabled()
+        assert telemetry.trace_dir() == str(tmp_path)
+
+
+class TestSpans:
+    def test_nesting_records_parent_ids(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with telemetry.span("outer") as outer:
+            with telemetry.span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+        records = {r["name"]: r for r in _read_trace(tmp_path)}
+        assert "parent" not in records["outer"]
+        assert records["inner"]["parent"] == records["outer"]["span"]
+        assert records["inner"]["dur_s"] >= 0.0
+        assert records["inner"]["trace"] == records["outer"]["trace"]
+
+    def test_detached_span_does_not_scope_siblings(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with telemetry.span("root") as root:
+            detached = telemetry.span("gen", detached=True)
+            detached.__enter__()
+            # a span opened while the detached one is live must parent
+            # under root, not under the generator's span
+            with telemetry.span("sibling") as sibling:
+                assert sibling.parent_id == root.span_id
+            detached.__exit__(None, None, None)
+            assert detached.parent_id == root.span_id
+
+    def test_error_exit_is_recorded_and_not_swallowed(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with pytest.raises(RuntimeError):
+            with telemetry.span("boom"):
+                raise RuntimeError("x")
+        (record,) = _read_trace(tmp_path)
+        assert record["error"] == "RuntimeError"
+
+    def test_attrs_via_kwargs_and_set(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with telemetry.span("s", a=1) as s:
+            s.set(b=2)
+        (record,) = _read_trace(tmp_path)
+        assert record["attrs"] == {"a": 1, "b": 2}
+
+    def test_aggregate_only_mode_keeps_disk_untouched(self, tmp_path):
+        telemetry.configure(aggregate=True)
+        with telemetry.span("stage.x"):
+            pass
+        state = telemetry.aggregate_state()
+        assert state["stage.x"]["count"] == 1
+        assert telemetry.trace_dir() is None
+
+    def test_aggregate_delta(self):
+        telemetry.configure(aggregate=True)
+        with telemetry.span("a"):
+            pass
+        before = telemetry.aggregate_state()
+        with telemetry.span("a"):
+            pass
+        with telemetry.span("b"):
+            pass
+        delta = telemetry.aggregate_delta(before)
+        assert delta["a"]["count"] == 1
+        assert delta["b"]["count"] == 1
+
+
+class TestTraceContext:
+    def test_context_none_when_tracing_off(self):
+        assert telemetry.trace_context() is None
+
+    def test_adopted_context_parents_new_spans(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        telemetry.adopt_context({"trace_id": "cafe", "parent": "host:1-1"})
+        with telemetry.span("child") as child:
+            assert child.parent_id == "host:1-1"
+        (record,) = _read_trace(tmp_path)
+        assert record["trace"] == "cafe"
+        assert record["parent"] == "host:1-1"
+
+    def test_context_carries_open_span_as_parent(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with telemetry.span("root") as root:
+            context = telemetry.trace_context()
+            assert context["parent"] == root.span_id
+            assert context["trace_id"]
+
+
+class TestForkSafety:
+    @pytest.mark.skipif(
+        not hasattr(os, "fork"), reason="requires os.fork"
+    )
+    def test_forked_child_writes_its_own_file(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        with telemetry.span("parent.work"):
+            pid = os.fork()
+            if pid == 0:  # child
+                try:
+                    with telemetry.span("child.work"):
+                        pass
+                finally:
+                    os._exit(0)
+            os.waitpid(pid, 0)
+        records = _read_trace(tmp_path)
+        by_name = {r["name"]: r for r in records}
+        # two files: one per pid
+        pids = {r["pid"] for r in records}
+        assert len(pids) == 2
+        # the child's span parents under the span open at fork time
+        assert by_name["child.work"]["parent"] == by_name["parent.work"]["span"]
+
+
+class TestEvents:
+    def test_event_counts_and_traces(self, tmp_path):
+        telemetry.configure(trace_dir=str(tmp_path))
+        telemetry.record_event("distributed.lease", {"worker": "w0"})
+        assert telemetry.counter("distributed.lease").value == 1
+        (record,) = [r for r in _read_trace(tmp_path) if r["kind"] == "event"]
+        assert record["name"] == "distributed.lease"
+        assert record["fields"] == {"worker": "w0"}
+
+    def test_event_without_tracing_still_counts(self):
+        telemetry.record_event("x")
+        assert telemetry.counter("x").value == 1
+
+
+class TestRateLimitedLog:
+    def test_burst_then_suppression(self):
+        clock = [0.0]
+        limiter = telemetry.RateLimitedLog(
+            rate=1.0, burst=3, clock=lambda: clock[0]
+        )
+        assert [limiter.allow() for _ in range(5)] == [
+            True, True, True, False, False,
+        ]
+        assert limiter.suppressed == 2
+
+    def test_tokens_refill_over_time(self):
+        clock = [0.0]
+        limiter = telemetry.RateLimitedLog(
+            rate=2.0, burst=1, clock=lambda: clock[0]
+        )
+        assert limiter.allow()
+        assert not limiter.allow()
+        clock[0] = 1.0  # 2 tokens accrued, capped at burst=1
+        assert limiter.allow()
+        assert not limiter.allow()
+
+    def test_suppressed_counter_feeds_telemetry(self):
+        clock = [0.0]
+        limiter = telemetry.RateLimitedLog(
+            rate=1.0, burst=1, suppressed_counter="t.suppressed",
+            clock=lambda: clock[0],
+        )
+        limiter.allow()
+        limiter.allow()
+        assert telemetry.counter("t.suppressed").value == 1
+
+    def test_log_emits_json_line(self, capfd):
+        limiter = telemetry.RateLimitedLog(rate=5.0, burst=10)
+        assert limiter.log({"event": "x", "detail": 1})
+        err = capfd.readouterr().err
+        parsed = json.loads(err.strip())
+        assert parsed["event"] == "x"
+        assert "ts" in parsed
+
+
+class TestLogLine:
+    def test_quiet_suppresses_unforced(self, capfd):
+        telemetry.set_quiet(True)
+        telemetry.log_line("hidden")
+        telemetry.log_line("shown", force=True)
+        err = capfd.readouterr().err
+        assert "hidden" not in err
+        assert "shown" in err

@@ -1,0 +1,163 @@
+"""Metric primitives: counters, gauges, histograms, registry state,
+cross-process merging, and Prometheus text exposition."""
+
+import math
+
+import pytest
+
+from repro.telemetry import metrics as m
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = m.Counter()
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_noop_counter_stays_zero(self):
+        m.NOOP_COUNTER.inc()
+        m.NOOP_COUNTER.inc(100)
+        assert m.NOOP_COUNTER.value == 0
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        g = m.Gauge()
+        g.set(3.5)
+        assert g.value() == 3.5
+
+    def test_set_fn_is_sampled_lazily(self):
+        g = m.Gauge()
+        box = [1.0]
+        g.set_fn(lambda: box[0])
+        assert g.value() == 1.0
+        box[0] = 7.0
+        assert g.value() == 7.0
+
+    def test_failing_set_fn_reads_as_nan(self):
+        g = m.Gauge()
+        g.set_fn(lambda: 1 / 0)
+        assert math.isnan(g.value())
+
+    def test_noop_gauge(self):
+        m.NOOP_GAUGE.set(5.0)
+        assert m.NOOP_GAUGE.value() == 0.0
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        h = m.Histogram(bounds=(1.0, 5.0, 10.0))
+        for v in (0.5, 1.0, 3.0, 7.0, 100.0):
+            h.observe(v)
+        state = h.state()
+        # le-style buckets: <=1, <=5, <=10, +Inf overflow
+        assert state["counts"] == [2, 1, 1, 1]
+        assert state["count"] == 5
+        assert state["sum"] == pytest.approx(111.5)
+
+    def test_bounds_must_strictly_increase(self):
+        with pytest.raises(ValueError):
+            m.Histogram(bounds=(1.0, 1.0))
+        with pytest.raises(ValueError):
+            m.Histogram(bounds=())
+
+    def test_noop_histogram(self):
+        m.NOOP_HISTOGRAM.observe(3.0)
+        assert m.NOOP_HISTOGRAM.state()["count"] == 0
+
+
+class TestRegistry:
+    def test_same_name_returns_same_instrument(self):
+        reg = m.MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_state_snapshot_is_sorted_and_plain_data(self):
+        reg = m.MetricsRegistry()
+        reg.counter("b").inc(2)
+        reg.counter("a").inc()
+        reg.gauge("g").set(1.5)
+        reg.histogram("h", bounds=(1.0, 2.0)).observe(1.5)
+        state = reg.state()
+        assert list(state["counters"]) == ["a", "b"]
+        assert state["counters"]["b"] == 2
+        assert state["gauges"]["g"] == 1.5
+        assert state["histograms"]["h"]["counts"] == [0, 1, 0]
+
+
+class TestMergeStates:
+    def test_counters_and_gauges_sum(self):
+        a = {"counters": {"x": 1}, "gauges": {"g": 2.0}, "histograms": {}}
+        b = {"counters": {"x": 3, "y": 1}, "gauges": {"g": 0.5}, "histograms": {}}
+        merged = m.merge_states([a, b])
+        assert merged["counters"] == {"x": 4, "y": 1}
+        assert merged["gauges"]["g"] == 2.5
+
+    def test_histograms_merge_bucketwise(self):
+        h1 = {"bounds": [1.0, 2.0], "counts": [1, 0, 2], "sum": 7.0, "count": 3}
+        h2 = {"bounds": [1.0, 2.0], "counts": [0, 1, 1], "sum": 5.0, "count": 2}
+        merged = m.merge_states(
+            [
+                {"counters": {}, "gauges": {}, "histograms": {"h": h1}},
+                {"counters": {}, "gauges": {}, "histograms": {"h": h2}},
+            ]
+        )
+        out = merged["histograms"]["h"]
+        assert out["counts"] == [1, 1, 3]
+        assert out["sum"] == 12.0
+        assert out["count"] == 5
+
+    def test_mismatched_bounds_are_skipped_not_corrupted(self):
+        h1 = {"bounds": [1.0], "counts": [1, 0], "sum": 1.0, "count": 1}
+        h2 = {"bounds": [2.0], "counts": [0, 1], "sum": 3.0, "count": 1}
+        merged = m.merge_states(
+            [
+                {"counters": {}, "gauges": {}, "histograms": {"h": h1}},
+                {"counters": {}, "gauges": {}, "histograms": {"h": h2}},
+            ]
+        )
+        # first writer wins; the incompatible sample must not blend in
+        assert merged["histograms"]["h"]["counts"] == [1, 0]
+
+    def test_empty_input(self):
+        merged = m.merge_states([])
+        assert merged == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestPrometheusRendering:
+    def _state(self):
+        return {
+            "counters": {"serve.requests": 7},
+            "gauges": {"queue depth": 2.0},
+            "histograms": {
+                "latency": {
+                    "bounds": [1.0, 5.0],
+                    "counts": [2, 1, 1],
+                    "sum": 9.5,
+                    "count": 4,
+                }
+            },
+        }
+
+    def test_counter_rendering(self):
+        text = m.render_prometheus(self._state())
+        assert "# TYPE repro_serve_requests_total counter" in text
+        assert "repro_serve_requests_total 7" in text
+
+    def test_gauge_name_sanitization(self):
+        text = m.render_prometheus(self._state())
+        assert "repro_queue_depth 2" in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        text = m.render_prometheus(self._state())
+        assert 'repro_latency_bucket{le="1"} 2' in text
+        assert 'repro_latency_bucket{le="5"} 3' in text
+        assert 'repro_latency_bucket{le="+Inf"} 4' in text
+        assert "repro_latency_sum 9.5" in text
+        assert "repro_latency_count 4" in text
+
+    def test_ends_with_newline(self):
+        assert m.render_prometheus(self._state()).endswith("\n")

@@ -1,0 +1,179 @@
+"""Trace stitching: loading per-process files, building one tree,
+stage totals, the critical path, and strict single-tree validation."""
+
+import json
+import os
+
+import pytest
+
+from repro.telemetry import trace
+
+
+def _write(directory, name, records):
+    path = os.path.join(directory, name)
+    with open(path, "w") as handle:
+        for record in records:
+            if isinstance(record, str):
+                handle.write(record + "\n")
+            else:
+                handle.write(json.dumps(record) + "\n")
+    return path
+
+
+def _span(span_id, name, dur, parent=None, pid=1, ts=0.0, trace_id="t1"):
+    record = {
+        "kind": "span",
+        "name": name,
+        "span": span_id,
+        "trace": trace_id,
+        "ts": ts,
+        "dur_s": dur,
+        "pid": pid,
+    }
+    if parent is not None:
+        record["parent"] = parent
+    return record
+
+
+@pytest.fixture
+def two_process_trace(tmp_path):
+    """A coordinator file plus a worker file that stitch into one tree."""
+    _write(
+        tmp_path,
+        "trace-host-100.jsonl",
+        [
+            _span("h:100-2", "stage.train", 0.4, parent="h:100-1", pid=100, ts=2.0),
+            _span("h:100-1", "grid.run", 1.0, pid=100, ts=1.0),
+            {"kind": "event", "name": "distributed.lease", "ts": 1.5, "pid": 100},
+        ],
+    )
+    _write(
+        tmp_path,
+        "trace-host-200.jsonl",
+        [
+            _span("h:200-1", "distributed.lease", 0.5, parent="h:100-1", pid=200, ts=1.2),
+            _span("h:200-2", "stage.train", 0.3, parent="h:200-1", pid=200, ts=1.3),
+        ],
+    )
+    return tmp_path
+
+
+class TestLoadTraceDir:
+    def test_merges_files_sorted_by_timestamp(self, two_process_trace):
+        loaded = trace.load_trace_dir(str(two_process_trace))
+        assert loaded["files"] == 2
+        assert [s["span"] for s in loaded["spans"]] == [
+            "h:100-1", "h:200-1", "h:200-2", "h:100-2",
+        ]
+        assert len(loaded["events"]) == 1
+
+    def test_torn_and_junk_lines_are_counted_not_fatal(self, tmp_path):
+        _write(
+            tmp_path,
+            "trace-host-1.jsonl",
+            [
+                _span("a", "x", 0.1),
+                '{"kind":"span","name":"torn',  # killed mid-write
+                "[1,2,3]",  # parseable but not a record
+            ],
+        )
+        loaded = trace.load_trace_dir(str(tmp_path))
+        assert len(loaded["spans"]) == 1
+        assert loaded["bad_lines"] == 2
+
+    def test_ignores_unrelated_files(self, tmp_path):
+        _write(tmp_path, "trace-host-1.jsonl", [_span("a", "x", 0.1)])
+        (tmp_path / "results.jsonl").write_text('{"not": "a trace"}\n')
+        assert trace.load_trace_dir(str(tmp_path))["files"] == 1
+
+
+class TestBuildTree:
+    def test_single_tree_across_processes(self, two_process_trace):
+        loaded = trace.load_trace_dir(str(two_process_trace))
+        roots, orphans, children = trace.build_tree(loaded["spans"])
+        assert [r["span"] for r in roots] == ["h:100-1"]
+        assert orphans == []
+        assert {c["span"] for c in children["h:100-1"]} == {"h:100-2", "h:200-1"}
+
+    def test_missing_parent_becomes_orphan(self):
+        spans = [_span("b", "child", 0.1, parent="never-written")]
+        roots, orphans, _ = trace.build_tree(spans)
+        assert roots == []
+        assert [o["span"] for o in orphans] == ["b"]
+
+
+class TestStageTotals:
+    def test_totals_aggregate_across_processes(self, two_process_trace):
+        loaded = trace.load_trace_dir(str(two_process_trace))
+        totals = trace.stage_totals(loaded["spans"])
+        assert totals["stage.train"]["count"] == 2
+        assert totals["stage.train"]["total_s"] == pytest.approx(0.7)
+        assert totals["stage.train"]["max_s"] == pytest.approx(0.4)
+        assert totals["stage.train"]["mean_s"] == pytest.approx(0.35)
+        # sorted by descending total: the root dominates
+        assert next(iter(totals)) == "grid.run"
+
+
+class TestCriticalPath:
+    def test_follows_longest_child_chain(self, two_process_trace):
+        loaded = trace.load_trace_dir(str(two_process_trace))
+        roots, _, children = trace.build_tree(loaded["spans"])
+        path = trace.critical_path(roots, children)
+        assert [p["name"] for p in path] == [
+            "grid.run", "distributed.lease", "stage.train",
+        ]
+
+    def test_empty_forest(self):
+        assert trace.critical_path([], {}) == []
+
+
+class TestSummarizeAndStrict:
+    def test_healthy_two_process_trace_passes_strict(self, two_process_trace):
+        summary = trace.summarize(str(two_process_trace))
+        assert summary["roots"] == 1
+        assert summary["orphans"] == 0
+        assert summary["processes"] == [100, 200]
+        assert summary["trace_ids"] == ["t1"]
+        assert summary["event_counts"] == {"distributed.lease": 1}
+        assert trace.check_single_tree(summary) is None
+
+    def test_report_renders(self, two_process_trace):
+        report = trace.render_report(trace.summarize(str(two_process_trace)))
+        assert "grid.run" in report
+        assert "critical path" in report
+        assert "1 root(s), 0 orphan(s)" in report
+
+    def test_strict_rejects_empty_trace(self, tmp_path):
+        _write(tmp_path, "trace-host-1.jsonl", [])
+        problem = trace.check_single_tree(trace.summarize(str(tmp_path)))
+        assert "no spans" in problem
+
+    def test_strict_rejects_multiple_roots(self, tmp_path):
+        _write(
+            tmp_path,
+            "trace-host-1.jsonl",
+            [_span("a", "run1", 0.1), _span("b", "run2", 0.1)],
+        )
+        problem = trace.check_single_tree(trace.summarize(str(tmp_path)))
+        assert "1 root" in problem
+
+    def test_strict_rejects_orphans(self, tmp_path):
+        _write(
+            tmp_path,
+            "trace-host-1.jsonl",
+            [_span("a", "run", 0.1), _span("b", "lost", 0.1, parent="gone")],
+        )
+        problem = trace.check_single_tree(trace.summarize(str(tmp_path)))
+        assert "missing parent" in problem
+
+    def test_strict_rejects_mixed_trace_ids(self, tmp_path):
+        _write(
+            tmp_path,
+            "trace-host-1.jsonl",
+            [
+                _span("a", "run", 0.2, trace_id="t1"),
+                _span("b", "other", 0.1, parent="a", trace_id="t2"),
+            ],
+        )
+        problem = trace.check_single_tree(trace.summarize(str(tmp_path)))
+        assert "trace ids" in problem
