@@ -1,0 +1,41 @@
+"""Project-native static analysis: ``repro lint``.
+
+A zero-dependency, stdlib-``ast`` engine plus the checkers that compile
+this repo's own invariants (no-pickle serialization, strict-JSON
+serving, crash-safe metadata writes, fork-safe locks, deterministic
+fingerprints, declared lock discipline, observable failures, versioned
+wire shapes) into a machine-checked pass. See ``INVARIANTS.md`` at the
+repository root for the rule catalog and waiver syntax.
+"""
+
+from .checkers import CHECKER_NAMES
+from .engine import (
+    BASELINE_VERSION,
+    BaselineResult,
+    Checker,
+    Finding,
+    LintReport,
+    ModuleInfo,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    register,
+    registered_checkers,
+    write_baseline,
+)
+
+__all__ = [
+    "BASELINE_VERSION",
+    "BaselineResult",
+    "CHECKER_NAMES",
+    "Checker",
+    "Finding",
+    "LintReport",
+    "ModuleInfo",
+    "apply_baseline",
+    "lint_paths",
+    "load_baseline",
+    "register",
+    "registered_checkers",
+    "write_baseline",
+]

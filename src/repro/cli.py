@@ -37,6 +37,13 @@ Commands
     --trace-dir`` or ``REPRO_TRACE_DIR``): per-stage time totals across
     every process and the run's critical path; ``--strict`` verifies the
     spans stitch into exactly one tree.
+``lint [--strict --json --baseline FILE --write-baseline --select RULES]``
+    Run the project-native static-analysis pass (see ``INVARIANTS.md``)
+    over the installed ``repro`` package: no-pickle serialization,
+    strict-JSON serving, crash-safe writes, fork-safe locks,
+    deterministic fingerprints, lock discipline, observable failures,
+    versioned wire shapes. ``--baseline`` ratchets against a committed
+    findings file; ``--strict`` also fails on stale baseline entries.
 """
 
 from __future__ import annotations
@@ -351,6 +358,45 @@ def build_parser() -> argparse.ArgumentParser:
         "dispatching a partial batch",
     )
 
+    p_lint = sub.add_parser(
+        "lint", help="statically check the codebase's own invariants"
+    )
+    p_lint.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="package directory to lint (default: the installed repro package)",
+    )
+    p_lint.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="committed baseline of known findings; new findings fail, "
+        "baseline entries may only shrink",
+    )
+    p_lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    p_lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="also fail on stale baseline entries (findings that no longer "
+        "fire must be removed from the baseline)",
+    )
+    p_lint.add_argument(
+        "--json",
+        action="store_true",
+        help="print the machine-readable report instead of text",
+    )
+    p_lint.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated checker names to run (default: all)",
+    )
+
     p_registry = sub.add_parser("registry", help="inspect/manage a model registry")
     p_registry.add_argument("--registry", required=True, help="registry directory")
     p_registry.add_argument(
@@ -411,6 +457,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_grid_worker(args)
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "lint":
+        return _cmd_lint(args)
     return _cmd_grid(args)
 
 
@@ -856,6 +904,86 @@ def _cmd_trace(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    import json
+    import os
+
+    from .analysis import lint as lint_tools
+
+    root = args.root
+    if root is None:
+        import repro
+
+        # repro is a namespace package (no __init__.py), so __file__ is
+        # None; __path__ holds the single source directory
+        root = os.path.abspath(list(repro.__path__)[0])
+    if not os.path.isdir(root):
+        print(f"no package directory at {root}", file=sys.stderr)
+        return 2
+    select = None
+    if args.select:
+        select = [name.strip() for name in args.select.split(",") if name.strip()]
+    try:
+        report = lint_tools.lint_paths(root, select=select)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    if args.write_baseline:
+        if not args.baseline:
+            print("--write-baseline requires --baseline FILE", file=sys.stderr)
+            return 2
+        lint_tools.write_baseline(args.baseline, report.findings)
+        print(
+            f"wrote {len(report.findings)} finding(s) to {args.baseline}"
+        )
+        return 0
+
+    baseline_entries = []
+    if args.baseline:
+        try:
+            baseline_entries = lint_tools.load_baseline(args.baseline)
+        except FileNotFoundError:
+            print(f"no baseline file at {args.baseline}", file=sys.stderr)
+            return 2
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    split = lint_tools.apply_baseline(report.findings, baseline_entries)
+    failed = bool(split.new) or (args.strict and bool(split.stale))
+
+    if args.json:
+        payload = {
+            "files_checked": report.files_checked,
+            "checkers_run": report.checkers_run,
+            "new": [finding.to_dict() for finding in split.new],
+            "baselined": [finding.to_dict() for finding in split.known],
+            "stale_baseline": split.stale,
+            "ok": not failed,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 1 if failed else 0
+
+    for finding in split.new:
+        print(finding.render())
+    for entry in split.stale:
+        print(
+            f"stale baseline entry: {entry.get('path')} "
+            f"[{entry.get('rule')}] {entry.get('context', '')!r} no longer "
+            "fires; shrink the baseline (repro lint --write-baseline)"
+        )
+    summary_bits = [
+        f"{report.files_checked} files",
+        f"{report.checkers_run} checkers",
+        f"{len(split.new)} new finding(s)",
+    ]
+    if baseline_entries or split.stale:
+        summary_bits.append(f"{len(split.known)} baselined")
+        summary_bits.append(f"{len(split.stale)} stale")
+    print(("FAIL: " if failed else "ok: ") + ", ".join(summary_bits))
+    return 1 if failed else 0
+
+
 # ----------------------------------------------------------------------
 # serving commands
 # ----------------------------------------------------------------------
@@ -1012,6 +1140,8 @@ def _cmd_serve(args) -> int:
         )
     try:
         server.serve_forever()
+    # lint: allow(silent-except) -- Ctrl-C is the documented way to stop
+    # `repro serve`; the finally-block runs the orderly shutdown
     except KeyboardInterrupt:  # pragma: no cover - interactive
         pass
     finally:

@@ -232,6 +232,8 @@ class Coordinator:
         self._stopping.set()
         try:
             self._sock.close()
+        # lint: allow(silent-except) -- shutdown path; the socket may
+        # already be closed, which is the goal
         except OSError:
             pass
         for thread in self._threads:
@@ -250,6 +252,8 @@ class Coordinator:
         while not self._stopping.is_set():
             try:
                 conn, _ = self._sock.accept()
+            # lint: allow(silent-except) -- the accept timeout is the poll
+            # tick that lets the loop observe stop(); nothing failed
             except socket.timeout:
                 continue
             except OSError:
@@ -298,11 +302,16 @@ class Coordinator:
                         {"type": "error", "message": f"unknown frame type {kind!r}"},
                     )
                     return
+        # lint: allow(silent-except) -- a torn connection is expected
+        # worker churn: the finally-block requeues its leases and emits a
+        # 'requeue' telemetry event with reason=disconnect
         except (ProtocolError, OSError, ValueError):
-            pass  # torn connection: the finally-block requeues its leases
+            pass
         finally:
             try:
                 conn.close()
+            # lint: allow(silent-except) -- closing a torn connection;
+            # there is nothing left to salvage
             except OSError:
                 pass
             with self._lock:
@@ -537,8 +546,9 @@ class Coordinator:
         if self._on_event is not None:
             try:
                 self._on_event(dict(payload))
-            except Exception:  # an observer must never kill the run
-                pass
+            except Exception:
+                # an observer must never kill the run
+                telemetry.counter("distributed.observer_errors").inc()
 
 
 # ----------------------------------------------------------------------
@@ -689,6 +699,8 @@ def worker_loop(
     finally:
         try:
             sock.close()
+        # lint: allow(silent-except) -- worker teardown; a close error on
+        # an already-torn socket changes nothing
         except OSError:
             pass
 
@@ -765,6 +777,8 @@ class DistributedExecutor(Executor):
         if self._sock is not None:
             try:
                 self._sock.close()
+            # lint: allow(silent-except) -- executor shutdown; the socket
+            # may already be closed by a failed bind
             except OSError:
                 pass
             self._sock = None

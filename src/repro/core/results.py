@@ -113,6 +113,8 @@ class ResultsStore:
         except BaseException:
             try:
                 os.unlink(tmp)
+            # lint: allow(silent-except) -- failed cleanup of the temp file
+            # on the re-raise path; the original error is what matters
             except OSError:
                 pass
             raise

@@ -33,6 +33,10 @@ from .results import ResultsStore, RunResult
 # here before the plan/executor split
 _route_intervention = route_intervention
 
+#: Version of the run-manifest shape written by :func:`write_run_manifest`.
+#: Bump whenever a field changes meaning, so readers can detect old files.
+RUN_MANIFEST_VERSION = 1
+
 
 def open_store_dataset(
     dataset: str, store_dir: str
@@ -148,7 +152,7 @@ def write_run_manifest(
     """
     prep_keys = sorted({config.prep_key for config in plan.configs})
     manifest = {
-        "manifest_version": 1,
+        "manifest_version": RUN_MANIFEST_VERSION,
         "created_at": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
         "dataset": plan.spec.name,
         "dataset_fingerprint": plan.dataset_fingerprint,
@@ -186,6 +190,8 @@ def write_run_manifest(
     except BaseException:
         try:
             os.unlink(tmp)
+        # lint: allow(silent-except) -- failed cleanup of the temp file on
+        # the re-raise path; the original error is what matters
         except OSError:
             pass
         raise

@@ -437,6 +437,8 @@ class Column:
             for v in values:
                 try:
                     numeric.append(float(v))
+                # lint: allow(silent-except) -- isin() defines membership
+                # of an unparseable value as simply False, not an error
                 except (TypeError, ValueError):
                     continue
             return np.isin(self._data, numeric)

@@ -346,8 +346,11 @@ def _build_column(
 def _parse_numeric(fields: List[str], name: str, path: str) -> np.ndarray:
     try:
         return np.asarray(fields, dtype=np.float64)
+    # lint: allow(silent-except) -- fallback control flow, not a swallow:
+    # the retry below substitutes NaN for empty fields and re-raises with
+    # context if the column still fails to parse
     except ValueError:
-        pass  # empty fields (or bad values): substitute NaN and retry
+        pass
     try:
         return np.asarray(
             [field if field else "nan" for field in fields], dtype=np.float64

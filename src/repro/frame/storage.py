@@ -208,6 +208,8 @@ class FrameStoreWriter:
         manifest_path = os.path.join(self.root, MANIFEST_NAME)
         with open(manifest_path + ".tmp", "w") as handle:
             json.dump(manifest, handle, indent=1)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(manifest_path + ".tmp", manifest_path)
         return FrameStore.open(self.root)
 

@@ -97,7 +97,13 @@ def save_artifact(directory: str, manifest: Dict[str, Any]) -> str:
     manifest_path = os.path.join(directory, MANIFEST_NAME)
     tmp = manifest_path + ".tmp"
     with open(tmp, "w") as handle:
+        # lint: allow(strict-json) -- artifact manifests never cross the
+        # wire: load_artifact reads them back with Python's json.load
+        # (which parses NaN), and fitted parameters that are legitimately
+        # NaN must round-trip unchanged
         json.dump(packed, handle, sort_keys=True, indent=1, allow_nan=True)
+        handle.flush()
+        os.fsync(handle.fileno())
     os.replace(tmp, manifest_path)
     return directory
 
@@ -134,7 +140,9 @@ def schema_fingerprint(spec: DatasetSpec, feature_names: List[str]) -> str:
         ],
         "feature_names": list(feature_names),
     }
-    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    canonical = json.dumps(
+        payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
 
 

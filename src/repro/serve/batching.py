@@ -85,9 +85,9 @@ class MicroBatcher:
         self.max_batch = int(max_batch)
         self.max_wait = float(max_wait_ms) / 1000.0
         self.max_queue = int(max_queue)
-        self._queue: List[_Request] = []
+        self._queue: List[_Request] = []  # guarded-by: _cond
         self._cond = threading.Condition()
-        self._closed = False
+        self._closed = False  # guarded-by: _cond
         self._batches_dispatched = 0
         self._coalesced_records = 0
         # live queue-depth gauge, weakly bound: the registry entry must
@@ -211,7 +211,7 @@ class MicroBatcher:
             batch.extend(self._take(self.max_batch - len(batch)))
             return batch
 
-    def _take(self, limit: int) -> List[_Request]:
+    def _take(self, limit: int) -> List[_Request]:  # guarded-by: _cond
         taken = self._queue[:limit]
         del self._queue[:limit]
         return taken

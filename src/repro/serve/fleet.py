@@ -43,7 +43,6 @@ import json
 import os
 import signal
 import socket
-import sys
 import tempfile
 import threading
 import time
@@ -51,7 +50,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from .. import telemetry
 from .monitor import FairnessMonitor
-from .service import ScoringService, make_server
+from .service import ScoringService, dumps_strict, make_server
 
 SO_REUSEPORT_AVAILABLE = hasattr(socket, "SO_REUSEPORT")
 FORK_AVAILABLE = hasattr(os, "fork")
@@ -65,10 +64,11 @@ _CONTROL_TIMEOUT = 2.0
 class _ControlServer(threading.Thread):
     """Dump-state-on-connect unix socket, served from a worker thread.
 
-    The protocol is one-way: connect, receive one JSON document (the
-    worker's ``service.state()``), EOF. Internal JSON is allowed to carry
-    non-strict floats — both ends are this codebase — while the public
-    ``/metrics`` route re-encodes strictly.
+    The protocol is one-way: connect, receive one strict-JSON document
+    (the worker's ``service.state()``), EOF. The dump goes through
+    :func:`~repro.serve.service.dumps_strict` so a NaN in any monitor
+    slot serializes as ``null`` instead of the invalid bare ``NaN``
+    token that would break fleet-wide ``/metrics`` aggregation.
     """
 
     def __init__(self, path: str, state_fn: Callable[[], Dict[str, Any]]):
@@ -88,10 +88,11 @@ class _ControlServer(threading.Thread):
             except OSError:
                 return  # stop() closed the socket
             try:
-                payload = json.dumps(self.state_fn()).encode("utf-8")
+                payload = dumps_strict(self.state_fn())
                 conn.sendall(payload)
             except Exception:
-                pass  # a failed peer poll must never kill the worker
+                # a failed peer poll must never kill the worker
+                telemetry.counter("serve.fleet.control_dump_errors").inc()
             finally:
                 conn.close()
 
@@ -102,6 +103,8 @@ class _ControlServer(threading.Thread):
             if os.path.exists(self.path):
                 try:
                     os.unlink(self.path)
+                # lint: allow(silent-except) -- best-effort shutdown cleanup;
+                # a leftover socket file is re-unlinked by the next bind
                 except OSError:
                     pass
 
@@ -367,11 +370,16 @@ class ServingFleet:
             if os.path.exists(path):
                 try:
                     os.unlink(path)
+                # lint: allow(silent-except) -- best-effort removal of
+                # per-worker control sockets in a tempdir at shutdown
                 except OSError:
                     pass
         if self._control_dir is not None and os.path.isdir(self._control_dir):
             try:
                 os.rmdir(self._control_dir)
+            # lint: allow(silent-except) -- the tempdir may be non-empty if
+            # a worker was SIGKILLed mid-drain; the OS tempdir reaper owns
+            # leftovers
             except OSError:
                 pass
         self._log("fleet stopped")
@@ -427,6 +435,8 @@ class ServingFleet:
     def _signal(pid: int, signum: int) -> None:
         try:
             os.kill(pid, signum)
+        # lint: allow(silent-except) -- the worker already exited, which is
+        # exactly what the signal was asking for
         except ProcessLookupError:
             pass
 
@@ -473,11 +483,10 @@ class ServingFleet:
             control.stop()
             server.server_close()
         except Exception as error:  # pragma: no cover - crash path
-            print(
+            telemetry.log_line(
                 f"[repro.serve.fleet] worker {index} crashed: "
                 f"{type(error).__name__}: {error}",
-                file=sys.stderr,
-                flush=True,
+                force=True,
             )
             os._exit(1)
         os._exit(0)

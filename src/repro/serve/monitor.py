@@ -94,9 +94,9 @@ class FairnessMonitor:
         self._score_valid = np.zeros(n, dtype=bool)
         self._truths = np.empty(n, dtype=np.float64)
         self._truth_valid = np.zeros(n, dtype=bool)
-        self._pos = 0  # next write slot
-        self._count = 0  # filled slots, <= window_size
-        self._total_observed = 0
+        self._pos = 0  # guarded-by: _lock (next write slot)
+        self._count = 0  # guarded-by: _lock (filled slots, <= window_size)
+        self._total_observed = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -184,7 +184,7 @@ class FairnessMonitor:
             self._count = min(self.window_size, self._count + k)
             self._total_observed += total
 
-    def _write_ring(self, buffer: np.ndarray, values, k: int) -> None:
+    def _write_ring(self, buffer: np.ndarray, values, k: int) -> None:  # guarded-by: _lock
         """Copy ``k`` values (array or scalar fill) into the ring at ``_pos``.
 
         Caller holds the lock and advances ``_pos`` once per batch; this

@@ -74,7 +74,13 @@ class ModelRegistry:
     def _write_index(self, index: Dict[str, Any]) -> None:
         tmp = self.index_path + ".tmp"
         with open(tmp, "w") as handle:
+            # lint: allow(strict-json) -- the index never crosses the wire:
+            # it is read back only by _read_index (Python json.load, which
+            # parses NaN), and fairness metrics with empty groups must
+            # round-trip as NaN, not null
             json.dump(index, handle, sort_keys=True, indent=1, allow_nan=True)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, self.index_path)
 
     @contextlib.contextmanager
@@ -125,10 +131,7 @@ class ModelRegistry:
         if model_id is None:
             model_id = pipeline.metadata.get("run_key")
         if model_id is None:
-            canonical = json.dumps(
-                manifest["components"], sort_keys=True, default=_digest_default
-            )
-            model_id = hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
+            model_id = _content_fingerprint(manifest["components"])
         model_id = str(model_id)
         separators = [os.sep] + ([os.altsep] if os.altsep else [])
         if any(s in model_id for s in separators) or model_id in (".", ".."):
@@ -257,6 +260,21 @@ class ModelRegistry:
         if not run_key:
             return []
         return [r for r in store.load(strict=False) if r.run_key == run_key]
+
+
+def _content_fingerprint(components: Dict[str, Any]) -> str:
+    """Deterministic content hash of a manifest's components tree.
+
+    Isolated from :meth:`ModelRegistry.publish` so the canonical-JSON
+    payload stays free of wall-clock fields like ``created_at`` — the
+    fingerprint must depend only on what the pipeline *is*.
+    """
+    # lint: allow(strict-json) -- digest input, never wire JSON: a NaN
+    # parameter must hash deterministically (the 'NaN' token), not raise
+    canonical = json.dumps(
+        components, sort_keys=True, default=_digest_default
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:20]
 
 
 def _digest_default(value):

@@ -113,11 +113,11 @@ class ScoringService:
                 max_queue=max_queue,
             )
         self._lock = threading.Lock()
-        self._requests = 0
-        self._records_scored = 0
-        self._errors = 0
-        self._inflight = 0
-        self._latencies: List[float] = []
+        self._requests = 0  # guarded-by: _lock
+        self._records_scored = 0  # guarded-by: _lock
+        self._errors = 0  # guarded-by: _lock
+        self._inflight = 0  # guarded-by: _lock
+        self._latencies: List[float] = []  # guarded-by: _lock
         self._started_at = time.time()
         # set by the fleet layer: a FleetView makes /healthz and /metrics
         # aggregate across workers; draining=True closes keep-alive
@@ -346,7 +346,9 @@ def make_server(
                 while self._one_request():
                     pass
             except (ConnectionError, socket.timeout, BrokenPipeError):
-                pass  # client went away; nothing to answer
+                # client went away; nothing to answer, but make the
+                # disconnect visible to fleet-level dashboards
+                telemetry.counter("serve.client_disconnects").inc()
 
         # --------------------------------------------------------------
         def _one_request(self) -> bool:

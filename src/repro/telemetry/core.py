@@ -95,8 +95,8 @@ class _TraceWriter:
 
     def __init__(self, directory: str):
         self.directory = directory
-        self._fd: Optional[int] = None
-        self._pid: Optional[int] = None
+        self._fd: Optional[int] = None  # guarded-by: _lock
+        self._pid: Optional[int] = None  # guarded-by: _lock
         self._lock = threading.Lock()
         os.makedirs(directory, exist_ok=True)
 
@@ -123,8 +123,10 @@ class _TraceWriter:
             fd = self._ensure()
             line = json.dumps(record, separators=(",", ":"), default=str)
             os.write(fd, (line + "\n").encode("utf-8"))
+        # lint: allow(silent-except) -- a full/unlinked trace dir must
+        # never kill the run; tracing is best-effort by design
         except OSError:
-            pass  # a full/unlinked trace dir must never kill the run
+            pass
 
     def rearm(self) -> None:
         self._lock = threading.Lock()
@@ -189,6 +191,9 @@ class Span:
             else:  # defensive: mis-nested exit (e.g. generator teardown)
                 try:
                     stack.remove(self)
+                # lint: allow(silent-except) -- the span may already be off
+                # the context stack after adopt_context(); aggregation
+                # below still records it either way
                 except ValueError:
                     pass
         aggregate = _STATE.aggregate.get(self.name)
@@ -428,6 +433,8 @@ def log_line(text: str, force: bool = False) -> None:
         return
     try:
         os.write(2, (text.rstrip("\n") + "\n").encode("utf-8", "replace"))
+    # lint: allow(silent-except) -- stderr is gone (closed pipe); there is
+    # nowhere left to report to, and logging must never kill the program
     except OSError:
         pass
 
@@ -452,8 +459,8 @@ class RateLimitedLog:
         self.suppressed = 0
         self._suppressed_counter = suppressed_counter
         self._clock = clock
-        self._tokens = float(burst)
-        self._last = clock()
+        self._tokens = float(burst)  # guarded-by: _lock
+        self._last = clock()  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def allow(self) -> bool:

@@ -89,9 +89,9 @@ class Histogram:
         if not bounds or list(bounds) != sorted(set(bounds)):
             raise ValueError(f"bounds must be strictly increasing, got {bounds!r}")
         self.bounds = bounds
-        self._counts = [0] * (len(bounds) + 1)
-        self._sum = 0.0
-        self._count = 0
+        self._counts = [0] * (len(bounds) + 1)  # guarded-by: _lock
+        self._sum = 0.0  # guarded-by: _lock
+        self._count = 0  # guarded-by: _lock
         self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
@@ -117,9 +117,9 @@ class MetricsRegistry:
 
     def __init__(self):
         self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, Histogram] = {}
+        self._counters: Dict[str, Counter] = {}  # guarded-by: _lock
+        self._gauges: Dict[str, Gauge] = {}  # guarded-by: _lock
+        self._histograms: Dict[str, Histogram] = {}  # guarded-by: _lock
 
     def counter(self, name: str) -> Counter:
         instrument = self._counters.get(name)

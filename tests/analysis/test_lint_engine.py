@@ -1,0 +1,177 @@
+"""Lint engine mechanics: waivers, the baseline ratchet, reporting.
+
+The checkers themselves are covered in ``test_lint_checkers.py``; these
+tests pin down the engine contracts every checker relies on — a waiver
+without a reason suppresses nothing, an unused waiver is itself a
+finding, and the committed baseline may only shrink.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.lint import (
+    BASELINE_VERSION,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+
+SILENT = (
+    "def f(g):\n"
+    "    try:\n"
+    "        g()\n"
+    "    except OSError:\n"
+    "        pass\n"
+)
+
+
+def run_lint(tmp_path, files, select=("silent-except",)):
+    pkg = tmp_path / "pkg"
+    for rel, source in files.items():
+        target = pkg / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return lint_paths(
+        str(pkg), select=list(select) if select else None, rel_prefix=""
+    )
+
+
+class TestWaivers:
+    def test_unwaived_finding_fires(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": SILENT})
+        assert [f.rule for f in report.findings] == ["silent-except"]
+        finding = report.findings[0]
+        assert finding.path == "mod.py"
+        assert finding.line == 4
+        assert finding.render().startswith("mod.py:4:")
+        assert "error[silent-except]" in finding.render()
+
+    def test_trailing_waiver_suppresses(self, tmp_path):
+        src = SILENT.replace(
+            "except OSError:",
+            "except OSError:  # lint: allow(silent-except) -- fine here",
+        )
+        report = run_lint(tmp_path, {"mod.py": src})
+        assert report.findings == []
+
+    def test_standalone_waiver_targets_next_code_line(self, tmp_path):
+        src = SILENT.replace(
+            "    except OSError:",
+            "    # lint: allow(silent-except) -- reason starts here\n"
+            "    # and flows over a continuation comment line\n"
+            "    except OSError:",
+        )
+        report = run_lint(tmp_path, {"mod.py": src})
+        assert report.findings == []
+
+    def test_reasonless_waiver_reports_and_does_not_suppress(self, tmp_path):
+        src = SILENT.replace(
+            "except OSError:",
+            "except OSError:  # lint: allow(silent-except)",
+        )
+        report = run_lint(tmp_path, {"mod.py": src})
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["silent-except", "waiver-syntax"]
+
+    def test_unused_waiver_is_a_finding(self, tmp_path):
+        src = "x = 1  # lint: allow(silent-except) -- nothing to waive\n"
+        report = run_lint(tmp_path, {"mod.py": src})
+        assert [f.rule for f in report.findings] == ["unused-waiver"]
+
+    def test_waiver_for_other_rule_does_not_suppress(self, tmp_path):
+        src = SILENT.replace(
+            "except OSError:",
+            "except OSError:  # lint: allow(no-pickle) -- wrong rule",
+        )
+        report = run_lint(tmp_path, {"mod.py": src})
+        rules = sorted(f.rule for f in report.findings)
+        assert rules == ["silent-except", "unused-waiver"]
+
+    def test_multi_rule_waiver(self, tmp_path):
+        src = SILENT.replace(
+            "except OSError:",
+            "except OSError:  "
+            "# lint: allow(silent-except, no-print) -- both intended",
+        )
+        report = run_lint(
+            tmp_path, {"mod.py": src}, select=("silent-except", "no-print")
+        )
+        assert report.findings == []
+
+    def test_waiver_inside_string_literal_is_ignored(self, tmp_path):
+        src = SILENT.replace(
+            "        g()\n",
+            '        g("# lint: allow(silent-except) -- not a comment")\n',
+        )
+        report = run_lint(tmp_path, {"mod.py": src})
+        assert [f.rule for f in report.findings] == ["silent-except"]
+
+
+class TestEngine:
+    def test_parse_error_is_a_finding(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": "def broken(:\n"})
+        assert [f.rule for f in report.findings] == ["parse-error"]
+
+    def test_unknown_checker_selection_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="no-such-rule"):
+            run_lint(tmp_path, {"mod.py": "x = 1\n"}, select=("no-such-rule",))
+
+    def test_findings_sorted_by_location(self, tmp_path):
+        report = run_lint(
+            tmp_path, {"b.py": SILENT, "a.py": SILENT, "sub/c.py": SILENT}
+        )
+        assert [f.path for f in report.findings] == [
+            "a.py", "b.py", "sub/c.py",
+        ]
+        assert report.files_checked == 3
+
+
+class TestBaselineRatchet:
+    def test_known_findings_are_absorbed(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": SILENT})
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        entries = load_baseline(str(baseline_path))
+        split = apply_baseline(report.findings, entries)
+        assert split.new == [] and split.stale == []
+        assert len(split.known) == 1
+
+    def test_baseline_survives_line_drift(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": SILENT})
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        # the same offending line, pushed down by unrelated edits above
+        drifted = run_lint(tmp_path, {"mod.py": "import os\n\n\n" + SILENT})
+        split = apply_baseline(
+            drifted.findings, load_baseline(str(baseline_path))
+        )
+        assert split.new == [] and split.stale == []
+
+    def test_growth_is_rejected(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": SILENT})
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        # duplicating the known-bad pattern must NOT ride on its baseline
+        # slot: each entry absorbs at most one finding
+        grown = run_lint(tmp_path, {"mod.py": SILENT + "\n\n" + SILENT})
+        split = apply_baseline(grown.findings, load_baseline(str(baseline_path)))
+        assert len(split.known) == 1
+        assert len(split.new) == 1
+
+    def test_fixed_findings_go_stale(self, tmp_path):
+        report = run_lint(tmp_path, {"mod.py": SILENT})
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(str(baseline_path), report.findings)
+        clean = run_lint(tmp_path, {"mod.py": "x = 1\n"})
+        split = apply_baseline(clean.findings, load_baseline(str(baseline_path)))
+        assert split.new == [] and split.known == []
+        assert len(split.stale) == 1
+        assert split.stale[0]["rule"] == "silent-except"
+
+    def test_baseline_version_is_checked(self, tmp_path):
+        bad = tmp_path / "baseline.json"
+        bad.write_text(json.dumps({"version": BASELINE_VERSION + 1}))
+        with pytest.raises(ValueError, match="not a lint baseline"):
+            load_baseline(str(bad))

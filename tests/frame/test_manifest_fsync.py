@@ -1,0 +1,59 @@
+"""Frame-store manifests must be fsynced before the publishing rename.
+
+Regression test: ``FrameStoreWriter.close`` used to ``os.replace`` the
+manifest ``.tmp`` without an fsync (unlike the results store and the
+run-manifest writer), so a crash between kernel buffering and writeback
+could publish a truncated manifest under the final name.
+"""
+
+import json
+import os
+
+import numpy as np
+
+from repro.frame import Column, DataFrame, FrameStoreWriter
+from repro.frame.storage import MANIFEST_NAME
+
+
+def small_frame(n=64):
+    rng = np.random.default_rng(7)
+    return DataFrame([
+        Column.numeric("x", rng.normal(size=n)),
+        Column.categorical("g", ["a" if i % 2 else "b" for i in range(n)]),
+    ])
+
+
+def test_manifest_fsynced_before_replace(tmp_path, monkeypatch):
+    events = []
+    real_fsync, real_replace = os.fsync, os.replace
+
+    def spy_fsync(fd):
+        events.append(("fsync", fd))
+        return real_fsync(fd)
+
+    def spy_replace(src, dst):
+        events.append(("replace", os.path.basename(dst)))
+        return real_replace(src, dst)
+
+    monkeypatch.setattr(os, "fsync", spy_fsync)
+    monkeypatch.setattr(os, "replace", spy_replace)
+
+    frame = small_frame()
+    root = str(tmp_path / "store")
+    writer = FrameStoreWriter(root)
+    writer.append(frame)
+    store = writer.close()
+    assert store.n_rows == frame.num_rows
+
+    manifest_events = [
+        e for e in events if e[0] == "replace" and e[1] == MANIFEST_NAME
+    ]
+    assert manifest_events, "manifest was never published via os.replace"
+    replace_at = events.index(manifest_events[0])
+    assert any(
+        event[0] == "fsync" for event in events[:replace_at]
+    ), "manifest .tmp must be fsynced before os.replace publishes it"
+
+    manifest = json.load(open(os.path.join(root, MANIFEST_NAME)))
+    assert manifest["n_rows"] == frame.num_rows
+    assert not os.path.exists(os.path.join(root, MANIFEST_NAME + ".tmp"))

@@ -1,0 +1,107 @@
+"""Control-socket dumps must be strict JSON even with NaN in the window.
+
+Regression test for the fleet control channel: a FairnessMonitor whose
+window makes a metric undefined (all observations in one group leaves
+disparate impact with an empty denominator) used to reach the control
+socket through raw ``json.dumps`` and emit a bare ``NaN`` token, which
+strict peers reject and which broke fleet ``/metrics`` aggregation.
+"""
+
+import json
+import math
+import os
+import socket
+
+import pytest
+
+from repro.serve.fleet import _ControlServer, _read_control_state
+from repro.serve.monitor import FairnessMonitor
+
+pytestmark = pytest.mark.skipif(
+    not hasattr(socket, "AF_UNIX"), reason="needs unix domain sockets"
+)
+
+
+def strict_loads(data):
+    def refuse(token):
+        raise ValueError(f"non-JSON constant {token!r}")
+
+    return json.loads(data, parse_constant=refuse)
+
+
+def nan_bearing_state():
+    """A realistic worker state whose monitor window yields NaN metrics."""
+    monitor = FairnessMonitor(
+        protected_attribute="group", window_size=32, min_observations=1
+    )
+    # privileged group never favored: disparate impact divides by a zero
+    # selection rate, so the windowed metric is genuinely NaN
+    for _ in range(8):
+        monitor.observe(group=1.0, prediction=0.0, true_label=0.0)
+    for _ in range(8):
+        monitor.observe(group=0.0, prediction=1.0, true_label=1.0)
+    snapshot = monitor.snapshot()
+    blob = json.dumps(snapshot)  # the non-strict encoding used to leak out
+    assert "NaN" in blob, "fixture must actually contain a NaN metric"
+    return {
+        "pid": os.getpid(),
+        "requests": 16,
+        "monitor": monitor.state(),
+        "fairness": snapshot,
+    }
+
+
+def read_raw(path):
+    with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+        sock.settimeout(5.0)
+        sock.connect(path)
+        chunks = []
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    return b"".join(chunks)
+
+
+@pytest.fixture
+def control(tmp_path):
+    server = _ControlServer(str(tmp_path / "control.sock"), nan_bearing_state)
+    server.start()
+    try:
+        yield server
+    finally:
+        server.stop()
+        server.join(timeout=5.0)
+
+
+def test_nan_window_serializes_strictly(control):
+    payload = read_raw(control.path)
+    assert b"NaN" not in payload
+    state = strict_loads(payload.decode("utf-8"))
+    assert state["requests"] == 16
+    # the undefined metric arrives as null, not as a parse error
+    assert state["fairness"]["disparate_impact"] is None
+    assert state["fairness"]["selection_rate"] == 0.5
+
+
+def test_read_control_state_round_trip(control):
+    state = _read_control_state(control.path)
+    assert state is not None
+    assert state["requests"] == 16
+
+    def no_nan(tree):
+        if isinstance(tree, float):
+            assert not math.isnan(tree)
+        elif isinstance(tree, dict):
+            for value in tree.values():
+                no_nan(value)
+        elif isinstance(tree, list):
+            for value in tree:
+                no_nan(value)
+
+    no_nan(state)
+    # the raw monitor window still merges: a sibling can rebuild one
+    # fleet-wide monitor from the strict-JSON state
+    merged = FairnessMonitor.from_states([state["monitor"]])
+    assert merged.snapshot()["window"] == 16.0
